@@ -1,0 +1,123 @@
+// Command tcbench regenerates every table and measured claim of the
+// ICDE'93 paper (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	tcbench                      # everything
+//	tcbench -table 2             # one table
+//	tcbench -experiment speedup  # one performance experiment
+//	tcbench -trials 20 -seed 7   # bigger batches
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation (empty = all)")
+		trials     = flag.Int("trials", 10, "random graphs per table")
+		queries    = flag.Int("queries", 20, "queries per performance point")
+		seed       = flag.Int64("seed", 42, "base random seed")
+		tablesOnly = flag.Bool("tables-only", false, "skip the performance experiments")
+	)
+	flag.Parse()
+
+	runTables := *experiment == ""
+	runExps := *table == "" && !*tablesOnly
+
+	if runTables {
+		type tableFn func(int, int64) (*bench.Table, error)
+		all := []struct {
+			id string
+			fn tableFn
+		}{
+			{"1", bench.Table1},
+			{"2", bench.Table2},
+			{"3", bench.Table3},
+		}
+		for _, t := range all {
+			if *table != "" && *table != t.id {
+				continue
+			}
+			tbl, err := t.fn(*trials, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(tbl.Format())
+		}
+	}
+
+	if runExps {
+		run := func(name string, f func() (fmt.Stringer, error)) {
+			if *experiment != "" && *experiment != name {
+				return
+			}
+			out, err := f()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %v", name, err))
+			}
+			fmt.Println(out)
+		}
+		run("speedup", func() (fmt.Stringer, error) {
+			r, err := bench.Speedup(60, *queries, *seed)
+			return formatter{r.Format}, err
+		})
+		run("iterations", func() (fmt.Stringer, error) {
+			r, err := bench.Iterations(4, 25, *queries, *seed)
+			return formatter{r.Format}, err
+		})
+		run("fig8", func() (fmt.Stringer, error) {
+			r, err := bench.Fig8(*trials, *seed)
+			return formatter{r.Format}, err
+		})
+		run("phe", func() (fmt.Stringer, error) {
+			r, err := bench.PHE(*queries, *seed)
+			return formatter{r.Format}, err
+		})
+		run("impact", func() (fmt.Stringer, error) {
+			r, err := bench.Impact(5, *queries, *seed)
+			return formatter{r.Format}, err
+		})
+		run("amortize", func() (fmt.Stringer, error) {
+			r, err := bench.Amortize(*queries, *seed)
+			return formatter{r.Format}, err
+		})
+		run("kconn", func() (fmt.Stringer, error) {
+			r, err := bench.KConnCost(*seed)
+			return formatter{r.Format}, err
+		})
+		run("ablation", func() (fmt.Stringer, error) {
+			var s string
+			for _, f := range []func(int, int64) (*bench.Ablation, error){
+				bench.AblationBEAThreshold,
+				bench.AblationBEAMode,
+				bench.AblationCenterVariant,
+				bench.AblationCenterPool,
+				bench.AblationLinearStartCount,
+			} {
+				a, err := f(*trials, *seed)
+				if err != nil {
+					return nil, err
+				}
+				s += a.Format() + "\n"
+			}
+			return formatter{func() string { return s }}, nil
+		})
+	}
+}
+
+// formatter adapts a Format method to fmt.Stringer.
+type formatter struct{ f func() string }
+
+func (f formatter) String() string { return f.f() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command tcgen generates the random test graphs of ICDE'93 §4.1 and
+// writes them in the text format the other tools consume.
+//
+// Usage:
+//
+//	tcgen -type transport -clusters 4 -nodes 25 -o graph.txt
+//	tcgen -type general -nodes 100 -degree 2.8 -seed 7 -o graph.txt
+//
+// -nodes is the per-cluster node count for transportation graphs and
+// the total for general graphs. -degree targets the average undirected
+// degree (the generator's c1 is derived from it; see
+// gen.DefaultsWithDegree).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "transport", "graph family: transport or general")
+		clusters = flag.Int("clusters", 4, "number of clusters (transport)")
+		nodes    = flag.Int("nodes", 25, "nodes per cluster (transport) or total (general)")
+		degree   = flag.Float64("degree", 4.5, "target average undirected degree")
+		seed     = flag.Int64("seed", 1, "random seed")
+		unit     = flag.Bool("unit-weights", false, "unit edge costs instead of Euclidean distances")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := gen.DefaultsWithDegree(*nodes, *degree, *seed)
+	cfg.UnitWeights = *unit
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *typ {
+	case "transport":
+		g, err = gen.Transportation(gen.TransportConfig{Clusters: *clusters, Cluster: cfg})
+	case "general":
+		g, err = gen.General(cfg)
+	default:
+		err = fmt.Errorf("unknown -type %q (want transport or general)", *typ)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.Write(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s (diameter %d)\n", g, g.Diameter())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcgen:", err)
+	os.Exit(1)
+}

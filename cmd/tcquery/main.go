@@ -1,0 +1,137 @@
+// Command tcquery answers transitive-closure queries over a fragmented
+// graph with the disconnection set approach: it builds the
+// complementary information, plans the fragment chains, runs the
+// per-site subqueries (in parallel with -parallel) and assembles the
+// answer, reporting the paper's performance quantities along the way.
+//
+// Usage:
+//
+//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97
+//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -parallel -engine seminaive
+//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -phe 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment"
+	"repro/internal/graph"
+	"repro/internal/phe"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "graph file (required)")
+		fragFile  = flag.String("frag", "", "fragmentation file (required)")
+		src       = flag.Int("src", -1, "source node (required)")
+		dst       = flag.Int("dst", -1, "target node (required)")
+		engine    = flag.String("engine", "dijkstra", "local engine: dijkstra or seminaive")
+		parallel  = flag.Bool("parallel", false, "run per-site subqueries concurrently")
+		highway   = flag.Int("phe", -1, "use parallel hierarchical evaluation with this highway fragment")
+		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
+		verbose   = flag.Bool("v", false, "print the plan and per-site work")
+		showPath  = flag.Bool("path", false, "reconstruct and print the actual node route")
+	)
+	flag.Parse()
+	if *graphFile == "" || *fragFile == "" || *src < 0 || *dst < 0 {
+		fatal(fmt.Errorf("-graph, -frag, -src and -dst are required"))
+	}
+
+	gf, err := os.Open(*graphFile)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graph.Read(gf)
+	gf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	ff, err := os.Open(*fragFile)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := fragment.Read(g, ff)
+	ff.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var eng dsa.Engine
+	switch *engine {
+	case "dijkstra":
+		eng = dsa.EngineDijkstra
+	case "seminaive":
+		eng = dsa.EngineSemiNaive
+	default:
+		fatal(fmt.Errorf("unknown -engine %q (want dijkstra or seminaive)", *engine))
+	}
+
+	store, err := dsa.Build(fr, dsa.Options{MaxChains: *maxChains})
+	if err != nil {
+		fatal(err)
+	}
+	prep := store.Preprocessing()
+	fmt.Printf("store: %d sites, %d disconnection sets, loosely connected: %v\n",
+		len(store.Sites()), prep.DisconnectionSets, store.LooselyConnected())
+	fmt.Printf("preprocessing: %d global searches, %d complementary facts\n",
+		prep.DijkstraRuns, prep.PairsStored)
+
+	var res *dsa.Result
+	switch {
+	case *highway >= 0:
+		h, err := phe.New(store, *highway)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = h.Query(graph.NodeID(*src), graph.NodeID(*dst), eng)
+		if err != nil {
+			fatal(err)
+		}
+	case *parallel:
+		res, err = store.QueryParallel(graph.NodeID(*src), graph.NodeID(*dst), eng)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		res, err = store.Query(graph.NodeID(*src), graph.NodeID(*dst), eng)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if !res.Reachable {
+		fmt.Printf("%d and %d are NOT connected\n", *src, *dst)
+	} else {
+		fmt.Printf("shortest path %d -> %d: cost %.4f via fragment chain %v\n",
+			*src, *dst, res.Cost, res.BestChain)
+	}
+	fmt.Printf("chains considered: %d, same fragment: %v, elapsed: %v\n",
+		res.ChainsConsidered, res.SameFragment, res.Elapsed)
+	if *showPath && res.Reachable && *highway < 0 {
+		_, route, err := store.QueryPath(graph.NodeID(*src), graph.NodeID(*dst))
+		if err != nil {
+			fatal(err)
+		}
+		if route != nil {
+			fmt.Printf("route: %v\n", route.Nodes)
+		}
+	}
+	if *verbose {
+		fmt.Printf("assembly: %d joins, largest operand %d tuples\n",
+			res.Assembly.Joins, res.Assembly.MaxOperand)
+		fmt.Printf("messages: %d, tuples shipped: %d, critical path: %v\n",
+			res.MessagesSent, res.TuplesShipped, res.CriticalPath)
+		for id, w := range res.PerSite {
+			fmt.Printf("  site %d: %d legs, %d iterations, %d derived tuples, busy %v\n",
+				id, w.Legs, w.Stats.Iterations, w.Stats.DerivedTuples, w.Elapsed)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcquery:", err)
+	os.Exit(1)
+}

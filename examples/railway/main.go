@@ -1,0 +1,211 @@
+// Railway: the paper's §2.1 motivating scenario — a European railway
+// network naturally fragmented by country, a shortest-connection query
+// from Amsterdam to Milan answered by per-country subqueries running in
+// parallel, and the "Holland property": a Dutch domestic query is
+// answered by the Dutch railway computer alone, even when the best
+// route dips across the border.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment"
+	"repro/internal/graph"
+)
+
+// Station IDs. Each country owns a block of IDs.
+const (
+	// Holland
+	Amsterdam = iota
+	Utrecht
+	Rotterdam
+	Eindhoven
+	Venlo      // border: Holland/Germany
+	Maastricht // border: Holland/Germany (southern crossing)
+	// Germany
+	Cologne
+	Frankfurt
+	Stuttgart
+	Munich
+	Basel     // border: Germany/Italy (standing in for the Swiss transit)
+	Innsbruck // border: Germany/Italy (Brenner route)
+	// Italy
+	Verona
+	Milan
+	Bologna
+)
+
+var names = map[graph.NodeID]string{
+	Amsterdam: "Amsterdam", Utrecht: "Utrecht", Rotterdam: "Rotterdam",
+	Eindhoven: "Eindhoven", Venlo: "Venlo", Maastricht: "Maastricht",
+	Cologne: "Cologne", Frankfurt: "Frankfurt", Stuttgart: "Stuttgart",
+	Munich: "Munich", Basel: "Basel", Innsbruck: "Innsbruck",
+	Verona: "Verona", Milan: "Milan", Bologna: "Bologna",
+}
+
+// track declares a symmetric connection with a travel time in minutes.
+type track struct {
+	a, b graph.NodeID
+	min  float64
+}
+
+func main() {
+	holland := []track{
+		{Amsterdam, Utrecht, 27},
+		{Amsterdam, Rotterdam, 41},
+		{Utrecht, Eindhoven, 47},
+		{Rotterdam, Eindhoven, 70},
+		{Eindhoven, Venlo, 35},
+		{Eindhoven, Maastricht, 62},
+		{Utrecht, Rotterdam, 38},
+	}
+	germany := []track{
+		{Venlo, Cologne, 57},
+		{Maastricht, Cologne, 65}, // via Aachen
+		{Cologne, Frankfurt, 64},
+		{Frankfurt, Stuttgart, 78},
+		{Stuttgart, Munich, 134},
+		{Frankfurt, Munich, 193},
+		{Stuttgart, Basel, 156},
+		{Munich, Innsbruck, 103},
+	}
+	italy := []track{
+		{Basel, Milan, 247}, // Gotthard transit
+		{Innsbruck, Verona, 210},
+		{Verona, Milan, 72},
+		{Verona, Bologna, 52},
+		{Milan, Bologna, 62},
+	}
+
+	// Build the network and the semantic fragmentation by country. A
+	// cross-border track belongs to the country block that lists it, so
+	// border stations (Venlo, Maastricht, Basel, Innsbruck) end up in
+	// two fragments — they are the disconnection sets.
+	g := graph.New()
+	var sets [][]graph.Edge
+	for _, country := range [][]track{holland, germany, italy} {
+		var edges []graph.Edge
+		for _, t := range country {
+			e := graph.Edge{From: t.a, To: t.b, Weight: t.min}
+			g.AddBoth(e)
+			edges = append(edges, e, e.Reverse())
+		}
+		sets = append(sets, edges)
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	countries := []string{"Holland", "Germany", "Italy"}
+	for p, ds := range fr.DisconnectionSets() {
+		fmt.Printf("DS(%s, %s) = %s\n", countries[p.I], countries[p.J], stationNames(ds))
+	}
+	if !fr.FragmentationGraph().IsLooselyConnected() {
+		log.Fatal("the country chain should be loosely connected")
+	}
+
+	store, err := dsa.Build(fr, dsa.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The headline query: Amsterdam → Milan. Three subqueries — one per
+	// country — run in parallel; the final joins assemble the answer.
+	res, err := store.QueryParallel(Amsterdam, Milan, dsa.EngineDijkstra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAmsterdam -> Milan: %.0f minutes via %v\n",
+		res.Cost, chainNames(res.BestChain, countries))
+	fmt.Printf("sites involved: %d, assembly joins: %d, largest operand: %d tuples\n",
+		len(res.PerSite), res.Assembly.Joins, res.Assembly.MaxOperand)
+	if want := g.Distance(Amsterdam, Milan); want != res.Cost {
+		log.Fatalf("disconnection set approach disagrees with global search: %v vs %v", res.Cost, want)
+	}
+
+	// The passenger wants the itinerary, not just the fare: reconstruct
+	// the actual station sequence from the per-site predecessor trees
+	// and the complementary path segments.
+	_, route, err := store.QueryPath(Amsterdam, Milan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if route == nil {
+		log.Fatal("no route reconstructed")
+	}
+	if err := route.Validate(g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("itinerary: %s\n", stationNames(route.Nodes))
+
+	// The Holland property: Eindhoven → Maastricht. The direct domestic
+	// track takes 62 minutes; the detour over German rails (Venlo →
+	// Cologne → Maastricht) would take 35+57+65 = 157, so here the
+	// domestic route wins — but the *decision* requires knowing the
+	// German alternative, which the Dutch site has precomputed in its
+	// complementary information. One site answers, correctly.
+	dom, err := store.Query(Eindhoven, Maastricht, dsa.EngineDijkstra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEindhoven -> Maastricht: %.0f minutes, same-fragment plan: %v, sites used: %d\n",
+		dom.Cost, dom.SameFragment, len(dom.PerSite))
+
+	// And a case where the foreign detour genuinely wins: make the
+	// domestic Eindhoven–Maastricht track slow (engineering works, 200
+	// minutes). The Dutch site still answers alone — its complementary
+	// information carries the German shortcut.
+	g2 := graph.New()
+	var sets2 [][]graph.Edge
+	for ci, country := range [][]track{holland, germany, italy} {
+		var edges []graph.Edge
+		for _, t := range country {
+			w := t.min
+			if ci == 0 && t.a == Eindhoven && t.b == Maastricht {
+				w = 200
+			}
+			e := graph.Edge{From: t.a, To: t.b, Weight: w}
+			g2.AddBoth(e)
+			edges = append(edges, e, e.Reverse())
+		}
+		sets2 = append(sets2, edges)
+	}
+	fr2, err := fragment.New(g2, sets2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store2, err := dsa.Build(fr2, dsa.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow, err := store2.Query(Eindhoven, Maastricht, dsa.EngineDijkstra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with works on the domestic track: %.0f minutes (global says %.0f), sites used: %d\n",
+		slow.Cost, g2.Distance(Eindhoven, Maastricht), len(slow.PerSite))
+	fmt.Println("the route crosses Germany, yet only the Dutch site computed")
+}
+
+// stationNames renders node IDs as station names.
+func stationNames(ids []graph.NodeID) string {
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += ", "
+		}
+		s += names[id]
+	}
+	return s
+}
+
+// chainNames renders a fragment chain as country names.
+func chainNames(chain []int, countries []string) []string {
+	out := make([]string, len(chain))
+	for i, c := range chain {
+		out[i] = countries[c]
+	}
+	return out
+}

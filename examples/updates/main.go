@@ -1,0 +1,105 @@
+// Updates: the paper's acknowledged cost (§2.1) — "the disadvantage of
+// the disconnection set approach is mainly due to the pre-processing
+// required for building the complementary information and to the
+// careful treatment of updates. As long as updates are not too
+// frequent, the pre-processing costs may be amortized over many
+// queries."
+//
+// This example deploys a fragmented network, measures what an edge
+// update costs (complementary-information rebuild), shows that queries
+// stay exact across updates, and prints the amortisation arithmetic:
+// how many queries one update's cost is worth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	g, err := gen.Transportation(gen.TransportConfig{
+		Clusters: 4,
+		Cluster:  gen.Defaults(30, 21),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := linear.Fragment(g, linear.Options{NumFragments: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := dsa.Build(res.Fragmentation, dsa.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep := store.Preprocessing()
+	fmt.Printf("deployed %d sites over %v\n", len(store.Sites()), g)
+	fmt.Printf("initial preprocessing: %d global searches, %d complementary facts\n\n",
+		prep.DijkstraRuns, prep.PairsStored)
+
+	nodes := g.Nodes()
+	src, dst := nodes[0], nodes[len(nodes)-1]
+
+	// Baseline query timing.
+	t0 := time.Now()
+	const queryRounds = 50
+	for i := 0; i < queryRounds; i++ {
+		if _, err := store.Query(src, dst, dsa.EngineDijkstra); err != nil {
+			log.Fatal(err)
+		}
+	}
+	perQuery := time.Since(t0) / queryRounds
+	fmt.Printf("steady-state query: %v\n", perQuery.Round(time.Microsecond))
+
+	// An update: add a new express connection inside fragment 0.
+	f0 := store.Fragmentation().Fragment(0).Nodes()
+	express := graph.Edge{From: f0[0], To: f0[len(f0)-1], Weight: 0.5}
+	t0 = time.Now()
+	ustats, err := store.InsertEdge(0, express)
+	if err != nil {
+		log.Fatal(err)
+	}
+	updateCost := time.Since(t0)
+	fmt.Printf("insert %d→%d: rebuilt %d disconnection sets with %d global searches in %v\n",
+		express.From, express.To, ustats.RecomputedSets, ustats.DijkstraRuns,
+		updateCost.Round(time.Microsecond))
+	fmt.Printf("one update costs as much as ≈ %d queries\n\n",
+		int(updateCost/perQuery)+1)
+
+	// Queries remain exact after the update.
+	after, err := store.Query(src, dst, dsa.EngineDijkstra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := store.Fragmentation().Base().Distance(src, dst)
+	fmt.Printf("query after update: cost %.2f (global search agrees: %v)\n",
+		after.Cost, approxEqual(after.Cost, want))
+
+	// And a deletion: remove the express edge again.
+	if _, err := store.DeleteEdge(0, express); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := store.Query(src, dst, dsa.EngineDijkstra)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query after delete: cost %.2f (back to the original: %v)\n",
+		restored.Cost, approxEqual(restored.Cost, g.Distance(src, dst)))
+	fmt.Println("\nconclusion: batch updates, amortise preprocessing over query bursts —")
+	fmt.Println("exactly the paper's operating regime for the disconnection set approach.")
+}
+
+// approxEqual compares costs up to float summation noise.
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}

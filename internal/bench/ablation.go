@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/fragment"
+	"repro/internal/fragment/bea"
+	"repro/internal/fragment/center"
+	"repro/internal/graph"
+)
+
+// AblationRow is one parameter setting of an ablation sweep.
+type AblationRow struct {
+	// Setting describes the parameter value.
+	Setting string
+	// C is the averaged characteristics under that setting.
+	C fragment.Characteristics
+}
+
+// Ablation is a parameter sweep over one design choice.
+type Ablation struct {
+	// Title names the swept choice.
+	Title string
+	// Rows are the settings.
+	Rows []AblationRow
+}
+
+// Format renders the sweep.
+func (a *Ablation) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", a.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "setting\tF\tDS\tAF\tADS\tfrags\tcycles")
+	for _, r := range a.Rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.2f\t%d\t%d\n",
+			r.Setting, r.C.F, r.C.DS, r.C.AF, r.C.ADS, r.C.NumFragments, r.C.Cycles)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// sweep applies a family of parameterised algorithms to a common graph
+// batch.
+func sweep(graphs []*graph.Graph, settings []string,
+	run func(setting int, g *graph.Graph) (*fragment.Fragmentation, error)) (*Ablation, error) {
+	a := &Ablation{}
+	for si, label := range settings {
+		var cs []fragment.Characteristics
+		for gi, g := range graphs {
+			fr, err := run(si, g)
+			if err != nil {
+				return nil, fmt.Errorf("bench: setting %q graph %d: %v", label, gi, err)
+			}
+			cs = append(cs, fragment.Measure(fr))
+		}
+		a.Rows = append(a.Rows, AblationRow{Setting: label, C: fragment.Average(cs)})
+	}
+	return a, nil
+}
+
+// AblationBEAThreshold sweeps the bond-energy split threshold on
+// transportation graphs — the user knob §3.2 leaves open.
+func AblationBEAThreshold(trials int, seed int64) (*Ablation, error) {
+	graphs, _, err := transportationBatch(trials, 4, 15, 4.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	thresholds := []int{2, 4, 6, 10, 16}
+	labels := make([]string, len(thresholds))
+	for i, th := range thresholds {
+		labels[i] = fmt.Sprintf("threshold=%d", th)
+	}
+	a, err := sweep(graphs, labels, func(si int, g *graph.Graph) (*fragment.Fragmentation, error) {
+		return bea.Fragment(g, bea.Options{Threshold: thresholds[si], MinBlockEdges: 10})
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Ablation: bond-energy split threshold (transportation graphs, 4×15 nodes)"
+	return a, nil
+}
+
+// AblationBEAMode compares the paper's threshold rule against the
+// local-minimum rule it considered and rejected.
+func AblationBEAMode(trials int, seed int64) (*Ablation, error) {
+	graphs, _, err := transportationBatch(trials, 4, 15, 4.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	modes := []bea.Mode{bea.ThresholdMode, bea.LocalMinimumMode}
+	labels := []string{"threshold (paper)", "local minimum"}
+	a, err := sweep(graphs, labels, func(si int, g *graph.Graph) (*fragment.Fragmentation, error) {
+		return bea.Fragment(g, bea.Options{Mode: modes[si], Threshold: 5, MinBlockEdges: 10})
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Ablation: bond-energy split rule"
+	return a, nil
+}
+
+// AblationCenterVariant compares the two growth schedules of the
+// center-based algorithm (§3.1's "the algorithm is adaptable").
+func AblationCenterVariant(trials int, seed int64) (*Ablation, error) {
+	graphs, _, err := transportationBatch(trials, 4, 20, 4.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	variants := []center.Variant{center.RoundRobin, center.SmallestFirst}
+	labels := []string{"round-robin (diameter)", "smallest-first (size)"}
+	a, err := sweep(graphs, labels, func(si int, g *graph.Graph) (*fragment.Fragmentation, error) {
+		return center.Fragment(g, center.Options{
+			NumFragments: 4, Variant: variants[si], Distributed: true,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Ablation: center-based growth schedule"
+	return a, nil
+}
+
+// AblationCenterPool sweeps the candidate pool size of random center
+// selection — larger pools admit lower-status centers.
+func AblationCenterPool(trials int, seed int64) (*Ablation, error) {
+	graphs, _, err := transportationBatch(trials, 4, 20, 4.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	pools := []int{4, 8, 16, 32}
+	labels := make([]string, len(pools))
+	for i, p := range pools {
+		labels[i] = fmt.Sprintf("pool=%d", p)
+	}
+	a, err := sweep(graphs, labels, func(si int, g *graph.Graph) (*fragment.Fragmentation, error) {
+		return center.Fragment(g, center.Options{
+			NumFragments: 4, CandidatePool: pools[si], Seed: seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Ablation: center candidate pool size (random selection)"
+	return a, nil
+}
+
+// AblationLinearStartCount sweeps the number of start nodes s of the
+// linear algorithm.
+func AblationLinearStartCount(trials int, seed int64) (*Ablation, error) {
+	graphs, _, err := transportationBatch(trials, 4, 15, 4.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{1, 3, 6, 10}
+	labels := make([]string, len(counts))
+	for i, c := range counts {
+		labels[i] = fmt.Sprintf("s=%d", c)
+	}
+	a, err := sweep(graphs, labels, func(si int, g *graph.Graph) (*fragment.Fragmentation, error) {
+		res, err := linearFragment(g, 4, counts[si])
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Title = "Ablation: linear fragmentation start-node count"
+	return a, nil
+}
+
+// linearFragment adapts the linear package to the sweep signature.
+func linearFragment(g *graph.Graph, frags, startCount int) (*fragment.Fragmentation, error) {
+	alg := Linear(frags, startCount)
+	return alg.Run(g, 0)
+}

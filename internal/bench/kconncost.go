@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/fragment/bea"
+	"repro/internal/fragment/center"
+	"repro/internal/fragment/kconn"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+)
+
+// KConnPoint is one graph size of the rejected-approach cost
+// comparison.
+type KConnPoint struct {
+	// Nodes is the graph size.
+	Nodes int
+	// KConn is the time of the k-connectivity relevant-node analysis.
+	KConn time.Duration
+	// Center, BEA, Linear are the times of the three §3 algorithms on
+	// the same graph.
+	Center, BEA, Linear time.Duration
+}
+
+// KConnResult is the sweep.
+type KConnResult struct {
+	Points []KConnPoint
+}
+
+// Format renders the comparison.
+func (r *KConnResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Cost of the rejected k-connectivity analysis vs the §3 algorithms\n")
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "nodes\tk-connectivity\tcenter\tbond-energy\tlinear")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%v\t%v\n",
+			p.Nodes,
+			p.KConn.Round(time.Millisecond),
+			p.Center.Round(time.Millisecond),
+			p.BEA.Round(time.Millisecond),
+			p.Linear.Round(time.Millisecond))
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// KConnCost substantiates §3's dismissal of the graph-theoretic
+// approach: "algorithms like this are very computation intensive, as
+// all possible combinations of nodes and paths have to be taken into
+// account." RelevantNodes costs O(n) removals × O(n²) pairs × one max
+// flow each, versus the near-linear growth algorithms.
+func KConnCost(seed int64) (*KConnResult, error) {
+	res := &KConnResult{}
+	for _, per := range []int{6, 9, 12} {
+		g, err := gen.Transportation(gen.TransportConfig{
+			Clusters: 2,
+			Cluster:  gen.Defaults(per, seed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		p := KConnPoint{Nodes: g.NumNodes()}
+
+		t0 := time.Now()
+		kconn.RelevantNodes(g)
+		p.KConn = time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := center.Fragment(g, center.Options{NumFragments: 2, Distributed: true}); err != nil {
+			return nil, err
+		}
+		p.Center = time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := bea.Fragment(g, bea.Options{Threshold: 3}); err != nil {
+			return nil, err
+		}
+		p.BEA = time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := linear.Fragment(g, linear.Options{NumFragments: 2}); err != nil {
+			return nil, err
+		}
+		p.Linear = time.Since(t0)
+
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}

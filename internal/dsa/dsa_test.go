@@ -1,0 +1,542 @@
+package dsa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fragment"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// pathStore builds a 3-fragment chain over the path 0-1-…-8 (symmetric
+// unit edges): fragments {0..3}, {3..6}, {6..8}.
+func pathStore(t *testing.T) (*Store, *graph.Graph) {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i < 9; i++ {
+		g.AddNode(graph.NodeID(i), graph.Coord{X: float64(i)})
+	}
+	var sets [][]graph.Edge
+	cut := []int{0, 3, 6, 8}
+	for k := 0; k+1 < len(cut); k++ {
+		var es []graph.Edge
+		for i := cut[k]; i < cut[k+1]; i++ {
+			e := graph.Edge{From: graph.NodeID(i), To: graph.NodeID(i + 1), Weight: 1}
+			rev := e.Reverse()
+			g.AddEdge(e)
+			g.AddEdge(rev)
+			es = append(es, e, rev)
+		}
+		sets = append(sets, es)
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, g
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("nil fragmentation accepted")
+	}
+	st, _ := pathStore(t)
+	if _, err := Build(st.Fragmentation(), Options{MaxChains: -1}); err == nil {
+		t.Error("negative MaxChains accepted")
+	}
+}
+
+func TestStoreShape(t *testing.T) {
+	st, _ := pathStore(t)
+	if len(st.Sites()) != 3 {
+		t.Fatalf("sites = %d", len(st.Sites()))
+	}
+	if !st.LooselyConnected() {
+		t.Error("chain store should be loosely connected")
+	}
+	prep := st.Preprocessing()
+	if prep.DisconnectionSets != 2 {
+		t.Errorf("DS count = %d, want 2", prep.DisconnectionSets)
+	}
+	// DS = {3} and {6}: two distinct border nodes → two Dijkstra runs.
+	if prep.DijkstraRuns != 2 {
+		t.Errorf("Dijkstra runs = %d, want 2", prep.DijkstraRuns)
+	}
+	// Site 1 participates in both disconnection sets.
+	if len(st.Site(1).Comp) != 2 {
+		t.Errorf("site 1 comp infos = %d, want 2", len(st.Site(1).Comp))
+	}
+	if len(st.Site(0).Comp) != 1 {
+		t.Errorf("site 0 comp infos = %d, want 1", len(st.Site(0).Comp))
+	}
+}
+
+func TestCompInfoShortcutEdges(t *testing.T) {
+	ci := &CompInfo{
+		Pair:  fragment.Pair{I: 0, J: 1},
+		Nodes: []graph.NodeID{1, 2},
+		Cost: map[[2]graph.NodeID]float64{
+			{1, 2}: 5, {2, 1}: 7,
+		},
+	}
+	edges := ci.ShortcutEdges()
+	if len(edges) != 2 {
+		t.Fatalf("shortcuts = %v", edges)
+	}
+	if edges[0].From != 1 || edges[0].Weight != 5 {
+		t.Errorf("first shortcut = %v", edges[0])
+	}
+}
+
+func TestPlanSameFragment(t *testing.T) {
+	st, _ := pathStore(t)
+	p, err := st.NewPlan(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.SameFragment || len(p.Chains) != 1 || len(p.Legs) != 1 {
+		t.Errorf("plan = %+v", p)
+	}
+	if got := p.SitesInvolved(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("sites = %v, want [0]", got)
+	}
+}
+
+func TestPlanChain(t *testing.T) {
+	st, _ := pathStore(t)
+	p, err := st.NewPlan(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SameFragment {
+		t.Error("0 and 8 are not in the same fragment")
+	}
+	if len(p.Chains) != 1 || len(p.Chains[0]) != 3 {
+		t.Fatalf("chains = %v", p.Chains)
+	}
+	if len(p.Legs) != 3 {
+		t.Errorf("legs = %v", p.Legs)
+	}
+	// Middle leg: entry DS01 = {3}, exit DS12 = {6}.
+	mid := p.Legs[1]
+	if len(mid.Entry) != 1 || mid.Entry[0] != 3 || len(mid.Exit) != 1 || mid.Exit[0] != 6 {
+		t.Errorf("middle leg = %+v", mid)
+	}
+}
+
+func TestPlanBorderNodeQuery(t *testing.T) {
+	// Node 3 is in fragments 0 and 1; a query 3→8 should use the
+	// shorter chain starting at fragment 1 as one of its chains.
+	st, _ := pathStore(t)
+	p, err := st.NewPlan(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SameFragment {
+		t.Error("3 and 8 do not share a fragment")
+	}
+	found := false
+	for _, c := range p.Chains {
+		if len(c) == 2 && c[0] == 1 && c[1] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chains %v missing [1 2]", p.Chains)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	st, g := pathStore(t)
+	if _, err := st.NewPlan(99, 0); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := st.NewPlan(0, 99); err == nil {
+		t.Error("unknown target accepted")
+	}
+	g.AddNode(50, graph.Coord{})
+	if _, err := st.NewPlan(50, 0); err == nil {
+		t.Error("isolated source accepted")
+	}
+}
+
+func TestQueryChainCost(t *testing.T) {
+	st, g := pathStore(t)
+	for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive} {
+		res, err := st.Query(0, 8, engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reachable || res.Cost != 8 {
+			t.Errorf("engine %d: cost = %v, want 8", engine, res.Cost)
+		}
+		if want := g.Distance(0, 8); res.Cost != want {
+			t.Errorf("engine %d: cost = %v, global = %v", engine, res.Cost, want)
+		}
+		if len(res.BestChain) != 3 {
+			t.Errorf("best chain = %v", res.BestChain)
+		}
+		if len(res.PerSite) != 3 {
+			t.Errorf("per-site work = %v, want 3 sites", res.PerSite)
+		}
+		if res.Assembly.Joins == 0 {
+			t.Error("assembly did no joins")
+		}
+	}
+}
+
+func TestQuerySameFragmentUsesOneSite(t *testing.T) {
+	st, _ := pathStore(t)
+	res, err := st.Query(0, 2, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SameFragment || res.Cost != 2 {
+		t.Errorf("res = %+v", res)
+	}
+	if len(res.PerSite) != 1 {
+		t.Errorf("same-fragment query touched %d sites", len(res.PerSite))
+	}
+}
+
+func TestQuerySourceEqualsTarget(t *testing.T) {
+	st, _ := pathStore(t)
+	res, err := st.Query(4, 4, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || res.Cost != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestQueryUnreachable(t *testing.T) {
+	// Two disconnected single-edge fragments.
+	g := graph.New()
+	e1 := graph.Edge{From: 0, To: 1, Weight: 1}
+	e2 := graph.Edge{From: 10, To: 11, Weight: 1}
+	g.AddEdge(e1)
+	g.AddEdge(e2)
+	fr, err := fragment.New(g, [][]graph.Edge{{e1}, {e2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(0, 11, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable || !math.IsInf(res.Cost, 1) {
+		t.Errorf("res = %+v, want unreachable", res)
+	}
+	ok, err := st.Connected(0, 11, EngineDijkstra)
+	if err != nil || ok {
+		t.Errorf("Connected = %v, %v", ok, err)
+	}
+}
+
+func TestQueryDirectedUnreachable(t *testing.T) {
+	// One-way path 0→1→2, fragments {0→1}, {1→2}: 2 cannot reach 0.
+	g := graph.New()
+	e1 := graph.Edge{From: 0, To: 1, Weight: 1}
+	e2 := graph.Edge{From: 1, To: 2, Weight: 1}
+	g.AddEdge(e1)
+	g.AddEdge(e2)
+	fr, err := fragment.New(g, [][]graph.Edge{{e1}, {e2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(2, 0, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable {
+		t.Error("directed reverse query should be unreachable")
+	}
+	fwd, err := st.Query(0, 2, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fwd.Reachable || fwd.Cost != 2 {
+		t.Errorf("forward = %+v", fwd)
+	}
+}
+
+func TestQueryUnknownEngine(t *testing.T) {
+	st, _ := pathStore(t)
+	if _, err := st.Query(0, 8, Engine(42)); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestQueryParallelMatchesSequential(t *testing.T) {
+	st, _ := pathStore(t)
+	seq, err := st.Query(0, 8, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := st.QueryParallel(0, 8, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cost != par.Cost || seq.Reachable != par.Reachable {
+		t.Errorf("sequential %v vs parallel %v", seq.Cost, par.Cost)
+	}
+	if par.MessagesSent != seq.MessagesSent {
+		t.Errorf("messages: %d vs %d", par.MessagesSent, seq.MessagesSent)
+	}
+}
+
+func TestShortcutCapturesOutsidePath(t *testing.T) {
+	// The Holland property: a same-fragment query whose true shortest
+	// path leaves the fragment must still be answered exactly by the
+	// single site, via complementary information.
+	//
+	// Fragment 0: expensive direct edge 0-1 (cost 10) plus border
+	// nodes 0, 1 shared with fragment 1, where a cheap detour 0-2-1
+	// (cost 2) lives.
+	g := graph.New()
+	exp := graph.Edge{From: 0, To: 1, Weight: 10}
+	expR := exp.Reverse()
+	d1 := graph.Edge{From: 0, To: 2, Weight: 1}
+	d1R := d1.Reverse()
+	d2 := graph.Edge{From: 2, To: 1, Weight: 1}
+	d2R := d2.Reverse()
+	for _, e := range []graph.Edge{exp, expR, d1, d1R, d2, d2R} {
+		g.AddEdge(e)
+	}
+	fr, err := fragment.New(g, [][]graph.Edge{{exp, expR}, {d1, d1R, d2, d2R}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(0, 1, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 {
+		t.Errorf("cost = %v, want 2 (via complementary info)", res.Cost)
+	}
+	if !res.SameFragment {
+		t.Error("0 and 1 share fragment 0; plan should be same-fragment")
+	}
+}
+
+func TestZeroCostBorderTraversal(t *testing.T) {
+	// Source is itself the disconnection-set node: entering and leaving
+	// the middle fragment at the same node must cost 0, not break the
+	// chain.
+	st, _ := pathStore(t)
+	res, err := st.Query(3, 6, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || res.Cost != 3 {
+		t.Errorf("res.Cost = %v, want 3", res.Cost)
+	}
+}
+
+func TestMaxChainsTruncation(t *testing.T) {
+	// Ring of 4 single-edge fragments: two chains between opposite
+	// fragments; MaxChains 1 truncates.
+	g := graph.New()
+	var sets [][]graph.Edge
+	for i := 0; i < 4; i++ {
+		e := graph.Edge{From: graph.NodeID(i), To: graph.NodeID((i + 1) % 4), Weight: 1}
+		g.AddEdge(e)
+		sets = append(sets, []graph.Edge{e})
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{MaxChains: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := st.NewPlan(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Truncated {
+		t.Error("plan should report truncation")
+	}
+	res, err := st.Query(0, 2, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !res.Reachable {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// buildLinearStore fragments a random transportation graph with the
+// linear algorithm (guaranteed loosely connected) and builds the store.
+func buildLinearStore(seed int64, clusters, perCluster, frags int) (*Store, *graph.Graph, error) {
+	g, err := gen.Transportation(gen.TransportConfig{
+		Clusters: clusters,
+		Cluster:  gen.Defaults(perCluster, seed),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := linear.Fragment(g, linear.Options{NumFragments: frags})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := Build(res.Fragmentation, Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, g, nil
+}
+
+// TestPropertyDSAMatchesGlobalDijkstra is the central correctness
+// property of the reproduction: for loosely connected fragmentations,
+// the disconnection set approach returns exactly the global
+// shortest-path cost, for random graphs, random queries, both engines
+// and both executors.
+func TestPropertyDSAMatchesGlobalDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, g, err := buildLinearStore(seed, 2+rng.Intn(2), 8+rng.Intn(6), 2+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		if !st.LooselyConnected() {
+			return false // linear guarantees this
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 4; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			want := g.Distance(src, dst)
+			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive} {
+				res, err := st.Query(src, dst, engine)
+				if err != nil {
+					return false
+				}
+				if res.Reachable != !math.IsInf(want, 1) {
+					return false
+				}
+				if res.Reachable && math.Abs(res.Cost-want) > 1e-9 {
+					return false
+				}
+			}
+			par, err := st.QueryParallel(src, dst, EngineDijkstra)
+			if err != nil {
+				return false
+			}
+			if par.Reachable && math.Abs(par.Cost-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDSANeverUndershoots: even on cyclic fragmentation graphs
+// (where only chain-restricted paths are considered) the reported cost
+// is the cost of a real path, hence ≥ the global optimum; and
+// reachability is never over-reported.
+func TestPropertyDSANeverUndershoots(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := gen.General(gen.Defaults(12+rng.Intn(10), seed))
+		if err != nil || g.NumEdges() < 4 {
+			return err == nil
+		}
+		// Arbitrary round-robin partition — typically cyclic G'.
+		edges := g.Edges()
+		k := 2 + rng.Intn(3)
+		sets := make([][]graph.Edge, k)
+		for i, e := range edges {
+			sets[i%k] = append(sets[i%k], e)
+		}
+		fr, err := fragment.New(g, sets)
+		if err != nil {
+			return false
+		}
+		st, err := Build(fr, Options{MaxChains: 50})
+		if err != nil {
+			return false
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 3; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			res, err := st.Query(src, dst, EngineDijkstra)
+			if err != nil {
+				return false
+			}
+			want := g.Distance(src, dst)
+			if res.Reachable && math.IsInf(want, 1) {
+				return false // over-reported reachability
+			}
+			if res.Reachable && res.Cost < want-1e-9 {
+				return false // cheaper than the global optimum: impossible
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySameFragmentSingleSite: the Holland property holds for
+// every same-fragment query on loosely connected stores — one site,
+// exact answer.
+func TestPropertySameFragmentSingleSite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, g, err := buildLinearStore(seed, 2, 10, 3)
+		if err != nil {
+			return false
+		}
+		for _, frag := range st.Fragmentation().Fragments() {
+			nodes := frag.Nodes()
+			if len(nodes) < 2 {
+				continue
+			}
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			res, err := st.Query(src, dst, EngineDijkstra)
+			if err != nil {
+				return false
+			}
+			if !res.SameFragment && src != dst {
+				return false
+			}
+			want := g.Distance(src, dst)
+			if res.Reachable && math.Abs(res.Cost-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,388 @@
+package dsa
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+// Engine selects the algorithm a site uses for its local recursive
+// subquery — "for evaluating the recursive subquery on a fragment any
+// suitable single-processor algorithm may be chosen" (§2.1).
+type Engine int
+
+const (
+	// EngineDijkstra runs one Dijkstra per entry node on the augmented
+	// fragment — the fast practical engine.
+	EngineDijkstra Engine = iota
+	// EngineSemiNaive runs the relational semi-naive min-cost fixpoint
+	// with the entry set pushed as a selection; it reports the
+	// iteration counts the paper's workload analysis is phrased in.
+	EngineSemiNaive
+)
+
+// LegResult is one executed leg: the (entry, exit, cost) facts it
+// produced, as a small relation to be joined in the assembly phase.
+type LegResult struct {
+	// Leg echoes the executed leg.
+	Leg Leg
+	// Rel holds the produced facts, schema (src, dst, cost).
+	Rel *relation.Relation
+	// Stats reports the local fixpoint work.
+	Stats tc.Stats
+	// Took is the site-local execution time.
+	Took time.Duration
+}
+
+// SiteWork summarises one site's contribution to a query.
+type SiteWork struct {
+	// Legs is the number of legs the site executed.
+	Legs int
+	// Stats accumulates the fixpoint statistics of those legs.
+	Stats tc.Stats
+	// Elapsed is the site's total busy time.
+	Elapsed time.Duration
+}
+
+// AssemblyStats reports the final combination phase — "effectively a
+// sequence of binary joins between a number of very small relations"
+// (§2.1).
+type AssemblyStats struct {
+	// Joins is the number of binary joins performed.
+	Joins int
+	// MaxOperand is the largest operand cardinality seen, substantiating
+	// the "very small relations" claim.
+	MaxOperand int
+}
+
+// Outcome is the assembled answer of a query over one plan.
+type Outcome struct {
+	// Reachable reports whether any chain yielded a path.
+	Reachable bool
+	// Cost is the cheapest cost found; +Inf when unreachable.
+	Cost float64
+	// BestChain is the chain realising Cost; nil when unreachable.
+	BestChain []int
+	// Stats reports the assembly joins.
+	Stats AssemblyStats
+}
+
+// Result is the answer to a disconnection-set query.
+type Result struct {
+	// Source and Target echo the query.
+	Source, Target graph.NodeID
+	// Reachable reports whether any path exists (along the considered
+	// chains).
+	Reachable bool
+	// Cost is the shortest-path cost; +Inf when unreachable.
+	Cost float64
+	// BestChain is the fragment chain realising Cost (nil when
+	// unreachable).
+	BestChain []int
+	// ChainsConsidered is the number of fragment chains evaluated.
+	ChainsConsidered int
+	// SameFragment reports the single-site fast path.
+	SameFragment bool
+	// Truncated propagates Plan.Truncated: the chain bound was hit and
+	// Cost is only an upper bound.
+	Truncated bool
+	// PerSite maps site IDs to their work.
+	PerSite map[int]SiteWork
+	// Assembly reports the final-phase joins.
+	Assembly AssemblyStats
+	// Elapsed is the wall-clock time of the whole query.
+	Elapsed time.Duration
+	// CriticalPath is the maximum single-site busy time — what the
+	// elapsed time would be on truly parallel hardware with free
+	// coordination.
+	CriticalPath time.Duration
+	// MessagesSent counts site→coordinator result shipments (the first
+	// phase itself is communication-free; these are the assembly
+	// inputs).
+	MessagesSent int
+	// TuplesShipped is the total cardinality of the shipped leg
+	// results, the paper's "relatively small operands".
+	TuplesShipped int
+}
+
+// Query answers a shortest-path query sequentially: plan, run every
+// leg one after another, assemble. Stores built for ProblemReachability
+// refuse cost queries — their complementary information carries only
+// connectivity.
+func (st *Store) Query(source, target graph.NodeID, engine Engine) (*Result, error) {
+	if st.problem != ProblemShortestPath {
+		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+	}
+	return st.run(source, target, engine, false)
+}
+
+// QueryParallel answers a shortest-path query with one goroutine per
+// site, the goroutine-per-processor realisation of the paper's
+// "neither communication nor synchronization is required during the
+// first phase of the computation".
+func (st *Store) QueryParallel(source, target graph.NodeID, engine Engine) (*Result, error) {
+	if st.problem != ProblemShortestPath {
+		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+	}
+	return st.run(source, target, engine, true)
+}
+
+// Connected reports whether target is reachable from source; it is the
+// paper's "Is A connected to B?" query, sharing the whole pipeline. It
+// works on both problem types (a shortest-path store's complementary
+// information subsumes connectivity).
+func (st *Store) Connected(source, target graph.NodeID, engine Engine) (bool, error) {
+	res, err := st.run(source, target, engine, false)
+	if err != nil {
+		return false, err
+	}
+	return res.Reachable, nil
+}
+
+// run executes the full pipeline.
+func (st *Store) run(source, target graph.NodeID, engine Engine, parallel bool) (*Result, error) {
+	plan, err := st.NewPlan(source, target)
+	if err != nil {
+		return nil, err
+	}
+	return st.RunPlan(plan, engine, parallel)
+}
+
+// RunPlan executes a prepared plan: phase 1 per-site legs (concurrent
+// when parallel is set), then assembly. External planners (package phe)
+// pair it with PlanChains.
+func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, error) {
+	if engine != EngineDijkstra && engine != EngineSemiNaive {
+		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
+	}
+	start := time.Now()
+	source, target := plan.Source, plan.Target
+	res := &Result{
+		Source:           source,
+		Target:           target,
+		Cost:             math.Inf(1),
+		SameFragment:     plan.SameFragment,
+		Truncated:        plan.Truncated,
+		ChainsConsidered: len(plan.Chains),
+		PerSite:          make(map[int]SiteWork),
+	}
+	if source == target {
+		res.Reachable = true
+		res.Cost = 0
+		if fs := st.fr.FragmentsOf(source); len(fs) > 0 {
+			res.BestChain = []int{fs[0]}
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	if len(plan.Chains) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Phase 1: execute legs, grouped per site (a site runs its legs
+	// serially; distinct sites run concurrently when parallel).
+	bySite := make(map[int][]int)
+	for i, l := range plan.Legs {
+		bySite[l.SiteID] = append(bySite[l.SiteID], i)
+	}
+	results := make([]*LegResult, len(plan.Legs))
+	runSite := func(siteID int, legIdxs []int) error {
+		for _, i := range legIdxs {
+			lr, err := st.ExecuteLeg(plan.Legs[i], engine)
+			if err != nil {
+				return err
+			}
+			results[i] = lr
+		}
+		return nil
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		errs := make(chan error, len(bySite))
+		for siteID, idxs := range bySite {
+			wg.Add(1)
+			go func(id int, ix []int) {
+				defer wg.Done()
+				if err := runSite(id, ix); err != nil {
+					errs <- err
+				}
+			}(siteID, idxs)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	} else {
+		for _, siteID := range plan.SitesInvolved() {
+			if err := runSite(siteID, bySite[siteID]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, lr := range results {
+		w := res.PerSite[lr.Leg.SiteID]
+		w.Legs++
+		w.Stats.Add(lr.Stats)
+		w.Elapsed += lr.Took
+		res.PerSite[lr.Leg.SiteID] = w
+		res.MessagesSent++
+		res.TuplesShipped += lr.Rel.Len()
+	}
+	for _, w := range res.PerSite {
+		if w.Elapsed > res.CriticalPath {
+			res.CriticalPath = w.Elapsed
+		}
+	}
+
+	// Phase 2: assembly.
+	out, err := st.Assemble(plan, results)
+	if err != nil {
+		return nil, err
+	}
+	res.Reachable = out.Reachable
+	res.Cost = out.Cost
+	res.BestChain = out.BestChain
+	res.Assembly = out.Stats
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ExecuteLeg executes one leg on its site with the chosen engine. It is
+// the unit of work a (real or simulated) processor performs; package
+// sim schedules these across simulated sites.
+func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
+	if leg.SiteID < 0 || leg.SiteID >= len(st.sites) {
+		return nil, fmt.Errorf("dsa: leg site %d out of range", leg.SiteID)
+	}
+	site := st.sites[leg.SiteID]
+	t0 := time.Now()
+	out := relation.New("src", "dst", "cost")
+	var stats tc.Stats
+	switch engine {
+	case EngineDijkstra:
+		exit := make(map[graph.NodeID]struct{}, len(leg.Exit))
+		for _, x := range leg.Exit {
+			exit[x] = struct{}{}
+		}
+		for _, a := range leg.Entry {
+			dist, _ := site.augmented.ShortestPaths(a)
+			for x := range exit {
+				if d, ok := dist[x]; ok && a != x {
+					out.MustInsert(relation.Tuple{int64(a), int64(x), d})
+				}
+			}
+			stats.DerivedTuples += len(dist)
+		}
+		stats.ResultTuples = out.Len()
+	case EngineSemiNaive:
+		full, s, err := tc.ShortestFrom(site.localRel, leg.Entry)
+		if err != nil {
+			return nil, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
+		}
+		stats = s
+		filtered, err := full.SelectIn("dst", relation.NodeSet(leg.Exit))
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range filtered.Tuples() {
+			out.MustInsert(t)
+		}
+		stats.ResultTuples = out.Len()
+	default:
+		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
+	}
+	// Entry nodes that are themselves exit nodes contribute zero-cost
+	// facts (a chain may enter and leave a fragment at the same border
+	// node).
+	for _, a := range leg.Entry {
+		for _, x := range leg.Exit {
+			if a == x {
+				out.MustInsert(relation.Tuple{int64(a), int64(x), 0.0})
+			}
+		}
+	}
+	return &LegResult{Leg: leg, Rel: out, Stats: stats, Took: time.Since(t0)}, nil
+}
+
+// Assemble folds executed leg results into the final answer: for each
+// chain of the plan, a running (node, cost) vector is joined with each
+// leg relation in turn and min-aggregated; the cheapest chain wins.
+// results must be indexed like plan.Legs.
+func (st *Store) Assemble(plan *Plan, results []*LegResult) (*Outcome, error) {
+	if len(results) != len(plan.Legs) {
+		return nil, fmt.Errorf("dsa: assemble: %d results for %d legs", len(results), len(plan.Legs))
+	}
+	out := &Outcome{Cost: math.Inf(1)}
+	for ci, chain := range plan.Chains {
+		cost, ok, err := st.assembleChain(plan, results, ci, &out.Stats)
+		if err != nil {
+			return nil, err
+		}
+		if ok && cost < out.Cost {
+			out.Cost = cost
+			out.BestChain = chain
+			out.Reachable = true
+		}
+	}
+	return out, nil
+}
+
+// assembleChain folds the leg results of chain ci into the cost from
+// source to target along that chain.
+func (st *Store) assembleChain(plan *Plan, results []*LegResult, ci int, stats *AssemblyStats) (float64, bool, error) {
+	vec := relation.New("node", "cost")
+	vec.MustInsert(relation.Tuple{int64(plan.Source), 0.0})
+	for _, li := range plan.chainLegs[ci] {
+		lr := results[li]
+		if lr == nil {
+			return 0, false, fmt.Errorf("dsa: assemble: missing result for leg %d", li)
+		}
+		if lr.Rel.Len() > stats.MaxOperand {
+			stats.MaxOperand = lr.Rel.Len()
+		}
+		if vec.Len() > stats.MaxOperand {
+			stats.MaxOperand = vec.Len()
+		}
+		legRel, err := lr.Rel.Rename("node", "next", "step")
+		if err != nil {
+			return 0, false, err
+		}
+		joined, err := vec.Join(legRel, []string{"node"}, []string{"node"})
+		if err != nil {
+			return 0, false, err
+		}
+		stats.Joins++
+		next := relation.New("node", "cost")
+		for _, t := range joined.Tuples() {
+			next.MustInsert(relation.Tuple{t[2], t[1].(float64) + t[3].(float64)})
+		}
+		vec, err = next.MinBy("cost", "node")
+		if err != nil {
+			return 0, false, err
+		}
+		if vec.Len() == 0 {
+			return 0, false, nil // chain broken: no path through this DS
+		}
+	}
+	at, err := vec.SelectEq("node", int64(plan.Target))
+	if err != nil {
+		return 0, false, err
+	}
+	cost, ok, err := at.MinValue("cost")
+	if err != nil {
+		return 0, false, err
+	}
+	return cost, ok, nil
+}
+
+// ChainLegs exposes, for each chain of the plan, the indices into
+// plan.Legs along it (read-only view for external schedulers and
+// tests).
+func (p *Plan) ChainLegs() [][]int { return p.chainLegs }

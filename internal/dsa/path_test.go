@@ -1,0 +1,167 @@
+package dsa
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fragment"
+	"repro/internal/graph"
+)
+
+func TestQueryPathChain(t *testing.T) {
+	st, g := pathStore(t)
+	res, route, err := st.QueryPath(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || route == nil {
+		t.Fatal("route missing")
+	}
+	want := []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	if !reflect.DeepEqual(route.Nodes, want) {
+		t.Errorf("route = %v, want %v", route.Nodes, want)
+	}
+	if route.Cost != 8 {
+		t.Errorf("route cost = %v", route.Cost)
+	}
+	if err := route.Validate(g); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestQueryPathSelfAndUnreachable(t *testing.T) {
+	st, _ := pathStore(t)
+	res, route, err := st.QueryPath(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || route == nil || len(route.Nodes) != 1 {
+		t.Errorf("self route = %+v", route)
+	}
+
+	g := graph.New()
+	e1 := graph.Edge{From: 0, To: 1, Weight: 1}
+	e2 := graph.Edge{From: 5, To: 6, Weight: 1}
+	g.AddEdge(e1)
+	g.AddEdge(e2)
+	fr, err := fragment.New(g, [][]graph.Edge{{e1}, {e2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, route2, err := st2.QueryPath(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable || route2 != nil {
+		t.Error("unreachable query returned a route")
+	}
+}
+
+func TestQueryPathThroughShortcut(t *testing.T) {
+	// Same topology as TestShortcutCapturesOutsidePath: the best route
+	// 0→2→1 leaves fragment 0; the reconstructed route must be the real
+	// base-graph path, not the shortcut pseudo-edge.
+	g := graph.New()
+	exp := graph.Edge{From: 0, To: 1, Weight: 10}
+	d1 := graph.Edge{From: 0, To: 2, Weight: 1}
+	d2 := graph.Edge{From: 2, To: 1, Weight: 1}
+	var sets [][]graph.Edge
+	sets = append(sets, []graph.Edge{exp, exp.Reverse()})
+	sets = append(sets, []graph.Edge{d1, d1.Reverse(), d2, d2.Reverse()})
+	for _, s := range sets {
+		for _, e := range s {
+			g.AddEdge(e)
+		}
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, route, err := st.QueryPath(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route == nil {
+		t.Fatal("no route")
+	}
+	want := []graph.NodeID{0, 2, 1}
+	if !reflect.DeepEqual(route.Nodes, want) {
+		t.Errorf("route = %v, want %v (expanded through the shortcut)", route.Nodes, want)
+	}
+	if err := route.Validate(g); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRouteValidateRejectsBadRoutes(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(graph.Edge{From: 0, To: 1, Weight: 2})
+	if err := (&Route{Nodes: []graph.NodeID{0, 5}, Cost: 2}).Validate(g); err == nil {
+		t.Error("non-edge hop accepted")
+	}
+	if err := (&Route{Nodes: []graph.NodeID{0, 1}, Cost: 99}).Validate(g); err == nil {
+		t.Error("wrong cost accepted")
+	}
+	if err := (&Route{}).Validate(g); err == nil {
+		t.Error("empty route accepted")
+	}
+	if err := (&Route{Nodes: []graph.NodeID{0, 1}, Cost: 2}).Validate(g); err != nil {
+		t.Errorf("valid route rejected: %v", err)
+	}
+}
+
+// TestPropertyRoutesAreValidShortestPaths: on loosely connected stores,
+// every reconstructed route is a real base-graph path whose cost equals
+// the global shortest distance.
+func TestPropertyRoutesAreValidShortestPaths(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, g, err := buildLinearStore(seed, 2+rng.Intn(2), 8+rng.Intn(5), 2+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 4; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			res, route, err := st.QueryPath(src, dst)
+			if err != nil {
+				return false
+			}
+			want := g.Distance(src, dst)
+			if !res.Reachable {
+				if !math.IsInf(want, 1) {
+					return false
+				}
+				continue
+			}
+			if route == nil {
+				return false
+			}
+			if route.Nodes[0] != src || route.Nodes[len(route.Nodes)-1] != dst {
+				return false
+			}
+			if route.Validate(g) != nil {
+				return false
+			}
+			if math.Abs(route.Cost-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package dsa
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// QueryPipelined answers a shortest-path query with pipelined chain
+// evaluation — the §2.1 remark "pipelining may be used for their
+// computation" made concrete. Instead of every site computing all
+// entry→exit pairs independently (which phase-1 parallelism requires),
+// the legs of each chain run in sequence and each leg's search is
+// seeded with the running cost vector of the previous legs: one
+// multi-source Dijkstra per leg, regardless of disconnection-set size.
+//
+// The trade-off against QueryParallel is the paper's own: pipelining
+// removes the redundant per-entry work (better on one processor or when
+// "the issue of fragment size [balance] becomes less relevant"), but
+// serialises the chain, so it cannot exploit one-processor-per-fragment
+// parallelism within a single query.
+func (st *Store) QueryPipelined(source, target graph.NodeID) (*Result, error) {
+	if st.problem != ProblemShortestPath {
+		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+	}
+	start := time.Now()
+	plan, err := st.NewPlan(source, target)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Source:           source,
+		Target:           target,
+		Cost:             math.Inf(1),
+		SameFragment:     plan.SameFragment,
+		Truncated:        plan.Truncated,
+		ChainsConsidered: len(plan.Chains),
+		PerSite:          make(map[int]SiteWork),
+	}
+	if source == target {
+		res.Reachable = true
+		res.Cost = 0
+		if fs := st.fr.FragmentsOf(source); len(fs) > 0 {
+			res.BestChain = []int{fs[0]}
+		}
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	for _, chain := range plan.Chains {
+		cost, ok := st.pipelineChain(source, target, chain, res)
+		if ok && cost < res.Cost {
+			res.Cost = cost
+			res.BestChain = chain
+			res.Reachable = true
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// pipelineChain folds one chain with vector-seeded multi-source
+// searches and returns the cost at the target.
+func (st *Store) pipelineChain(source, target graph.NodeID, chain []int, res *Result) (float64, bool) {
+	vector := map[graph.NodeID]float64{source: 0}
+	for i, fragID := range chain {
+		site := st.sites[fragID]
+		t0 := time.Now()
+		dist, _ := site.augmented.ShortestPathsMulti(vector)
+
+		var exits []graph.NodeID
+		if i+1 < len(chain) {
+			exits = st.fr.DisconnectionSet(fragID, chain[i+1])
+		} else {
+			exits = []graph.NodeID{target}
+		}
+		next := make(map[graph.NodeID]float64, len(exits))
+		for _, x := range exits {
+			if d, ok := dist[x]; ok {
+				next[x] = d
+			}
+		}
+		w := res.PerSite[fragID]
+		w.Legs++
+		w.Stats.DerivedTuples += len(dist)
+		w.Stats.ResultTuples += len(next)
+		w.Elapsed += time.Since(t0)
+		res.PerSite[fragID] = w
+		res.MessagesSent++
+		res.TuplesShipped += len(next)
+
+		if len(next) == 0 {
+			return 0, false
+		}
+		vector = next
+	}
+	cost, ok := vector[target]
+	return cost, ok
+}

@@ -1,0 +1,116 @@
+package dsa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryPipelinedChain(t *testing.T) {
+	st, g := pathStore(t)
+	res, err := st.QueryPipelined(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || res.Cost != 8 {
+		t.Fatalf("res = %+v", res)
+	}
+	if want := g.Distance(0, 8); res.Cost != want {
+		t.Errorf("pipelined %v vs global %v", res.Cost, want)
+	}
+	// Pipelining runs exactly one search per leg: 3 sites, 1 leg each.
+	for id, w := range res.PerSite {
+		if w.Legs != 1 {
+			t.Errorf("site %d ran %d legs, want 1", id, w.Legs)
+		}
+	}
+}
+
+func TestQueryPipelinedSelfAndUnreachable(t *testing.T) {
+	st, _ := pathStore(t)
+	self, err := st.QueryPipelined(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !self.Reachable || self.Cost != 0 {
+		t.Errorf("self = %+v", self)
+	}
+	// Directed one-way chain store: reverse query unreachable.
+	rs, _ := reachStore(t)
+	if _, err := rs.QueryPipelined(0, 8); err == nil {
+		t.Error("reachability store accepted a pipelined cost query")
+	}
+}
+
+func TestQueryPipelinedDoesLessWorkOnWideDS(t *testing.T) {
+	// On a store whose middle disconnection sets hold several nodes,
+	// the pipelined evaluation settles fewer tuples than per-entry leg
+	// execution.
+	st, g, err := buildLinearStore(5, 3, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	src := st.Fragmentation().Fragment(0).Nodes()[0]
+	last := st.Fragmentation().Fragment(st.Fragmentation().NumFragments() - 1)
+	dst := last.Nodes()[len(last.Nodes())-1]
+	_ = nodes
+	pip, err := st.QueryPipelined(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := st.Query(src, dst, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pip.Reachable || !par.Reachable {
+		t.Skip("pair unreachable")
+	}
+	work := func(r *Result) int {
+		total := 0
+		for _, w := range r.PerSite {
+			total += w.Stats.DerivedTuples
+		}
+		return total
+	}
+	if work(pip) > work(par) {
+		t.Errorf("pipelined settled %d tuples, per-entry %d; pipelining should not do more", work(pip), work(par))
+	}
+	if math.Abs(pip.Cost-par.Cost) > 1e-9 {
+		t.Errorf("answers differ: %v vs %v", pip.Cost, par.Cost)
+	}
+}
+
+// TestPropertyPipelinedMatchesQuery: pipelined evaluation is exact on
+// loosely connected stores, agreeing with both the standard pipeline
+// and global Dijkstra.
+func TestPropertyPipelinedMatchesQuery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, g, err := buildLinearStore(seed, 2+rng.Intn(2), 8+rng.Intn(5), 2+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 4; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			pip, err := st.QueryPipelined(src, dst)
+			if err != nil {
+				return false
+			}
+			want := g.Distance(src, dst)
+			if pip.Reachable != !math.IsInf(want, 1) {
+				return false
+			}
+			if pip.Reachable && math.Abs(pip.Cost-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

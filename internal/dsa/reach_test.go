@@ -1,0 +1,163 @@
+package dsa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fragment"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// reachStore rebuilds the 3-fragment chain store precomputed for
+// reachability.
+func reachStore(t *testing.T) (*Store, *graph.Graph) {
+	t.Helper()
+	st, g := pathStore(t)
+	rs, err := Build(st.Fragmentation(), Options{Problem: ProblemReachability})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, g
+}
+
+func TestReachabilityStoreConnected(t *testing.T) {
+	rs, _ := reachStore(t)
+	if rs.Problem() != ProblemReachability {
+		t.Fatalf("problem = %v", rs.Problem())
+	}
+	ok, err := rs.Connected(0, 8, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("0 should reach 8")
+	}
+}
+
+func TestReachabilityStoreRefusesCostQueries(t *testing.T) {
+	rs, _ := reachStore(t)
+	if _, err := rs.Query(0, 8, EngineDijkstra); err == nil {
+		t.Error("cost query accepted on reachability store")
+	}
+	if _, err := rs.QueryParallel(0, 8, EngineDijkstra); err == nil {
+		t.Error("parallel cost query accepted on reachability store")
+	}
+	if _, _, err := rs.QueryPath(0, 8); err == nil {
+		t.Error("route query accepted on reachability store")
+	}
+}
+
+func TestReachabilityPreprocessingIsBFS(t *testing.T) {
+	// Same fragmentation, both problems: the reachability store must
+	// store at least as many facts (every connected pair, not only
+	// finite-cost ones — same set here) while never storing cost
+	// information the problem does not need. The observable contract:
+	// search counts match, and Connected agrees between the stores.
+	st, g := pathStore(t)
+	rs, err := Build(st.Fragmentation(), Options{Problem: ProblemReachability})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Preprocessing().DijkstraRuns != st.Preprocessing().DijkstraRuns {
+		t.Errorf("search counts differ: %d vs %d",
+			rs.Preprocessing().DijkstraRuns, st.Preprocessing().DijkstraRuns)
+	}
+	nodes := g.Nodes()
+	for _, src := range nodes[:3] {
+		for _, dst := range nodes[len(nodes)-3:] {
+			a, err := st.Connected(src, dst, EngineDijkstra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := rs.Connected(src, dst, EngineDijkstra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("Connected(%d,%d): shortest-path store %v, reachability store %v", src, dst, a, b)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsUnknownProblem(t *testing.T) {
+	st, _ := pathStore(t)
+	if _, err := Build(st.Fragmentation(), Options{Problem: Problem(7)}); err == nil {
+		t.Error("unknown problem accepted")
+	}
+}
+
+func TestReachabilityDirectedAsymmetry(t *testing.T) {
+	// One-way chain: forward reachable, backward not — through the
+	// reachability complementary information.
+	g := graph.New()
+	e1 := graph.Edge{From: 0, To: 1, Weight: 1}
+	e2 := graph.Edge{From: 1, To: 2, Weight: 1}
+	g.AddEdge(e1)
+	g.AddEdge(e2)
+	fr, err := fragment.New(g, [][]graph.Edge{{e1}, {e2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Build(fr, Options{Problem: ProblemReachability})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := rs.Connected(0, 2, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rs.Connected(2, 0, EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fwd || back {
+		t.Errorf("fwd = %v, back = %v; want true, false", fwd, back)
+	}
+}
+
+// TestPropertyReachabilityMatchesGlobal: on loosely connected stores,
+// the reachability-problem store answers Connected exactly like a
+// global reachability check, both engines.
+func TestPropertyReachabilityMatchesGlobal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := gen.Transportation(gen.TransportConfig{
+			Clusters: 2 + rng.Intn(2),
+			Cluster:  gen.Defaults(8, seed),
+		})
+		if err != nil {
+			return false
+		}
+		res, err := linear.Fragment(g, linear.Options{NumFragments: 3})
+		if err != nil {
+			return false
+		}
+		rs, err := Build(res.Fragmentation, Options{Problem: ProblemReachability})
+		if err != nil {
+			return false
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 4; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			_, want := g.Reachable(src)[dst]
+			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive} {
+				got, err := rs.Connected(src, dst, engine)
+				if err != nil {
+					return false
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package dsa implements the disconnection set approach of Houtsma,
+// Apers and Ceri (VLDB'90), the parallel transitive-closure strategy
+// whose fragmentation-design problem the ICDE'93 paper studies.
+//
+// A Store deploys a fragmentation: one Site per fragment R_i, each
+// holding the induced subgraph G_i and the complementary information of
+// every disconnection set the fragment participates in — the global
+// shortest-path cost between every pair of that disconnection set's
+// nodes, "stored at both sites storing the fragments R_i and R_j"
+// (§2.1). Queries are answered by per-fragment searches that never
+// leave their site (augmented with the complementary shortcuts),
+// followed by an assembly phase of small relational joins; with a
+// loosely connected fragmentation the result is exact, "answers are
+// correct and precise".
+package dsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fragment"
+	"repro/internal/graph"
+	"repro/internal/relation"
+)
+
+// CompInfo is the complementary information of one disconnection set:
+// the cost of the global shortest path between every ordered pair of
+// its nodes (pairs with no connecting path are absent). For the
+// reachability problem the same table serves as the connectivity
+// relation (present = connected).
+type CompInfo struct {
+	// Pair identifies the disconnection set DS_ij.
+	Pair fragment.Pair
+	// Nodes is the sorted disconnection set.
+	Nodes []graph.NodeID
+	// Cost maps ordered node pairs (a, b), a ≠ b, to the global
+	// shortest-path cost from a to b.
+	Cost map[[2]graph.NodeID]float64
+}
+
+// ShortcutEdges renders the complementary information as extra edges:
+// adding them to a fragment's subgraph lets a purely local search
+// account for path segments that leave the fragment and return through
+// the same disconnection set (the footnote of §2.1: "the shortest path
+// might include nodes outside the chain, however, their contribution is
+// precomputed in the complementary information").
+func (ci *CompInfo) ShortcutEdges() []graph.Edge {
+	edges := make([]graph.Edge, 0, len(ci.Cost))
+	for p, c := range ci.Cost {
+		edges = append(edges, graph.Edge{From: p[0], To: p[1], Weight: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return edges
+}
+
+// Site is one processor of the deployment: a fragment, its subgraph,
+// and the complementary information of all its disconnection sets.
+type Site struct {
+	// ID is the fragment ID this site stores.
+	ID int
+	// Frag is the fragment.
+	Frag *fragment.Fragment
+	// Local is G_i — the subgraph induced by the fragment's edges.
+	Local *graph.Graph
+	// Comp holds the complementary information of every disconnection
+	// set involving this fragment, keyed by the normalised pair.
+	Comp map[fragment.Pair]*CompInfo
+	// augmented is Local plus every shortcut edge of Comp; all local
+	// searches run on it.
+	augmented *graph.Graph
+	// localRel is the augmented subgraph as an edge relation, for the
+	// semi-naive local engine.
+	localRel *relation.Relation
+}
+
+// Augmented returns the search graph of the site: the fragment plus the
+// complementary shortcut edges.
+func (s *Site) Augmented() *graph.Graph { return s.augmented }
+
+// PreprocessStats reports the cost of building the complementary
+// information — "the disadvantage of the disconnection set approach is
+// mainly due to the pre-processing required" (§2.1).
+type PreprocessStats struct {
+	// DijkstraRuns is the number of single-source shortest-path
+	// computations over the full graph.
+	DijkstraRuns int
+	// PairsStored is the total number of (a, b, cost) complementary
+	// facts stored across all sites (each DS is stored at two sites).
+	PairsStored int
+	// DisconnectionSets is the number of non-empty DS_ij.
+	DisconnectionSets int
+}
+
+// Problem selects the path problem a store is precomputed for — "these
+// properties depend on the particular path problem considered. For
+// instance, for the shortest path problem it is required to precompute
+// the shortest path among any two cities on the border" (§2.1).
+type Problem int
+
+const (
+	// ProblemShortestPath precomputes global minimum costs between
+	// disconnection-set nodes; stores answer both Connected and Query.
+	ProblemShortestPath Problem = iota
+	// ProblemReachability precomputes only connectivity between
+	// disconnection-set nodes, with cheap BFS preprocessing. Such a
+	// store answers Connected; cost queries are refused (the
+	// complementary information cannot support them).
+	ProblemReachability
+)
+
+// Store is a fragmentation deployed for disconnection-set query
+// processing.
+type Store struct {
+	fr      *fragment.Fragmentation
+	fg      *fragment.FragGraph
+	sites   []*Site
+	prep    PreprocessStats
+	problem Problem
+	// maxChains bounds chain enumeration for cyclic fragmentation
+	// graphs; 0 means unlimited.
+	maxChains int
+}
+
+// Options configures Build.
+type Options struct {
+	// MaxChains bounds how many fragment chains a query considers when
+	// the fragmentation graph is cyclic (0 = all). Loosely connected
+	// fragmentations have at most one chain and never hit the bound.
+	MaxChains int
+	// Problem selects the precomputed path problem (default
+	// ProblemShortestPath).
+	Problem Problem
+}
+
+// Build precomputes a Store from a fragmentation: for every node of
+// every disconnection set it runs one global single-source search and
+// stores the costs to the other members of that disconnection set. The
+// preprocessing is the only phase that reads the whole graph; queries
+// touch only per-site data.
+func Build(fr *fragment.Fragmentation, opt Options) (*Store, error) {
+	if fr == nil {
+		return nil, fmt.Errorf("dsa: nil fragmentation")
+	}
+	if opt.MaxChains < 0 {
+		return nil, fmt.Errorf("dsa: MaxChains must be non-negative, got %d", opt.MaxChains)
+	}
+	if opt.Problem != ProblemShortestPath && opt.Problem != ProblemReachability {
+		return nil, fmt.Errorf("dsa: unknown problem %d", opt.Problem)
+	}
+	st := &Store{fr: fr, fg: fr.FragmentationGraph(), maxChains: opt.MaxChains, problem: opt.Problem}
+	base := fr.Base()
+
+	dss := fr.DisconnectionSets()
+	st.prep.DisconnectionSets = len(dss)
+
+	// One global single-source search per distinct DS node (a node can
+	// belong to several disconnection sets; share the run). The
+	// shortest-path problem needs Dijkstra; reachability gets away with
+	// BFS — cheaper preprocessing for a weaker complementary table.
+	distinct := make(map[graph.NodeID]struct{})
+	for _, nodes := range dss {
+		for _, id := range nodes {
+			distinct[id] = struct{}{}
+		}
+	}
+	global := make(map[graph.NodeID]map[graph.NodeID]float64, len(distinct))
+	for id := range distinct {
+		switch opt.Problem {
+		case ProblemShortestPath:
+			dist, _ := base.ShortestPaths(id)
+			global[id] = dist
+		case ProblemReachability:
+			dist := make(map[graph.NodeID]float64)
+			for n := range base.Reachable(id) {
+				dist[n] = 1 // presence marker; magnitude is meaningless
+			}
+			global[id] = dist
+		}
+		st.prep.DijkstraRuns++
+	}
+
+	comp := make(map[fragment.Pair]*CompInfo, len(dss))
+	for p, nodes := range dss {
+		ci := &CompInfo{Pair: p, Nodes: nodes, Cost: make(map[[2]graph.NodeID]float64)}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if a == b {
+					continue
+				}
+				if d, ok := global[a][b]; ok {
+					ci.Cost[[2]graph.NodeID{a, b}] = d
+				}
+			}
+		}
+		comp[p] = ci
+	}
+
+	for _, f := range fr.Fragments() {
+		site := &Site{
+			ID:    f.ID,
+			Frag:  f,
+			Local: f.Subgraph(base),
+			Comp:  make(map[fragment.Pair]*CompInfo),
+		}
+		site.augmented = site.Local.Clone()
+		for p, ci := range comp {
+			if p.I != f.ID && p.J != f.ID {
+				continue
+			}
+			site.Comp[p] = ci
+			st.prep.PairsStored += len(ci.Cost)
+			for _, e := range ci.ShortcutEdges() {
+				site.augmented.AddEdge(e)
+			}
+		}
+		site.localRel = relation.FromGraph(site.augmented)
+		st.sites = append(st.sites, site)
+	}
+	return st, nil
+}
+
+// Fragmentation returns the deployed fragmentation.
+func (st *Store) Fragmentation() *fragment.Fragmentation { return st.fr }
+
+// Sites returns the deployed sites in fragment-ID order.
+func (st *Store) Sites() []*Site { return st.sites }
+
+// Site returns the site storing fragment i.
+func (st *Store) Site(i int) *Site { return st.sites[i] }
+
+// Preprocessing returns the preprocessing cost report.
+func (st *Store) Preprocessing() PreprocessStats { return st.prep }
+
+// LooselyConnected reports whether the deployed fragmentation graph is
+// acyclic, the precondition for single-chain planning and exact
+// answers.
+func (st *Store) LooselyConnected() bool { return st.fg.IsLooselyConnected() }
+
+// Problem returns the path problem the store was precomputed for.
+func (st *Store) Problem() Problem { return st.problem }

@@ -1,0 +1,54 @@
+package fragment_test
+
+import (
+	"fmt"
+
+	"repro/internal/fragment"
+	"repro/internal/graph"
+)
+
+// Example builds the paper's canonical situation by hand: two fragments
+// sharing one border node, and reads off the disconnection set and the
+// fragmentation graph.
+func Example() {
+	g := graph.New()
+	left := []graph.Edge{{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1}}
+	right := []graph.Edge{{From: 2, To: 3, Weight: 1}, {From: 3, To: 4, Weight: 1}}
+	for _, e := range append(append([]graph.Edge{}, left...), right...) {
+		g.AddEdge(e)
+	}
+	fr, err := fragment.New(g, [][]graph.Edge{left, right})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("DS01:", fr.DisconnectionSet(0, 1))
+	fmt.Println("loosely connected:", fr.FragmentationGraph().IsLooselyConnected())
+	c := fragment.Measure(fr)
+	fmt.Printf("F=%.0f DS=%.0f\n", c.F, c.DS)
+	// Output:
+	// DS01: [2]
+	// loosely connected: true
+	// F=2 DS=1
+}
+
+// ExampleFragGraph_Chains enumerates the fragment chains a query must
+// consider.
+func ExampleFragGraph_Chains() {
+	g := graph.New()
+	var sets [][]graph.Edge
+	for i := 0; i < 3; i++ {
+		e := graph.Edge{From: graph.NodeID(i), To: graph.NodeID(i + 1), Weight: 1}
+		g.AddEdge(e)
+		sets = append(sets, []graph.Edge{e})
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		panic(err)
+	}
+	chains, err := fr.FragmentationGraph().Chains(0, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(chains)
+	// Output: [[0 1 2]]
+}

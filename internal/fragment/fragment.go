@@ -1,0 +1,206 @@
+// Package fragment defines the fragmentation model of the ICDE'93
+// paper: a partition of the edge relation R into fragments R_i, the
+// subgraphs G_i they induce, the disconnection sets DS_ij = V_i ∩ V_j,
+// the fragmentation graph G' (one node per fragment, one edge per
+// non-empty disconnection set), and the characteristics reported in
+// Tables 1–3 (average fragment size F, average disconnection set size
+// DS, and their average deviations AF and ADS).
+//
+// The three fragmentation algorithms of §3 live in the subpackages
+// center, bea and linear; each produces a *Fragmentation that this
+// package validates and measures.
+package fragment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Fragment is one element R_i of the partition: a set of edges plus the
+// node set V_i they induce.
+type Fragment struct {
+	// ID is the fragment's index within its fragmentation.
+	ID int
+	// Edges are the fragment's edges in deterministic order.
+	Edges []graph.Edge
+	// nodes is the induced node set.
+	nodes map[graph.NodeID]struct{}
+}
+
+// newFragment builds a fragment from its edge set.
+func newFragment(id int, edges []graph.Edge) *Fragment {
+	f := &Fragment{ID: id, Edges: append([]graph.Edge(nil), edges...)}
+	sort.Slice(f.Edges, func(i, j int) bool {
+		a, b := f.Edges[i], f.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Weight < b.Weight
+	})
+	f.nodes = make(map[graph.NodeID]struct{})
+	for _, e := range f.Edges {
+		f.nodes[e.From] = struct{}{}
+		f.nodes[e.To] = struct{}{}
+	}
+	return f
+}
+
+// Size returns the number of edges — the paper's fragment size measure
+// ("the number of tuples in a fragment is a good indication for the
+// workload of a processor", §2.2).
+func (f *Fragment) Size() int { return len(f.Edges) }
+
+// HasNode reports whether id belongs to the fragment's induced node
+// set.
+func (f *Fragment) HasNode(id graph.NodeID) bool {
+	_, ok := f.nodes[id]
+	return ok
+}
+
+// Nodes returns the induced node set in ascending order.
+func (f *Fragment) Nodes() []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(f.nodes))
+	for id := range f.nodes {
+		ids = append(ids, id)
+	}
+	return graph.SortNodeIDs(ids)
+}
+
+// NumNodes returns |V_i|.
+func (f *Fragment) NumNodes() int { return len(f.nodes) }
+
+// Subgraph materialises G_i, copying coordinates from the base graph.
+func (f *Fragment) Subgraph(base *graph.Graph) *graph.Graph {
+	return base.Subgraph(f.Edges)
+}
+
+// Fragmentation is a validated partition of a graph's edges.
+type Fragmentation struct {
+	base  *graph.Graph
+	frags []*Fragment
+	// byNode maps each node to the (sorted) IDs of the fragments whose
+	// induced node set contains it; nodes in ≥ 2 fragments are exactly
+	// the disconnection-set nodes.
+	byNode map[graph.NodeID][]int
+}
+
+// New validates that the edge sets form an exact partition of g's edges
+// — every edge in exactly one fragment — and builds the Fragmentation.
+// Empty edge sets are rejected: an empty fragment would be a processor
+// with no work and a hole in the fragmentation graph.
+func New(g *graph.Graph, edgeSets [][]graph.Edge) (*Fragmentation, error) {
+	if g == nil {
+		return nil, fmt.Errorf("fragment: nil base graph")
+	}
+	if len(edgeSets) == 0 {
+		return nil, fmt.Errorf("fragment: no fragments")
+	}
+	// Multiset of the base edges.
+	remaining := make(map[graph.Edge]int, g.NumEdges())
+	for _, e := range g.Edges() {
+		remaining[e]++
+	}
+	fr := &Fragmentation{base: g, byNode: make(map[graph.NodeID][]int)}
+	for i, edges := range edgeSets {
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("fragment: fragment %d is empty", i)
+		}
+		for _, e := range edges {
+			if remaining[e] == 0 {
+				return nil, fmt.Errorf("fragment: edge %v not in base graph or already assigned", e)
+			}
+			remaining[e]--
+		}
+		fr.frags = append(fr.frags, newFragment(i, edges))
+	}
+	for e, n := range remaining {
+		if n > 0 {
+			return nil, fmt.Errorf("fragment: edge %v not assigned to any fragment", e)
+		}
+	}
+	for _, f := range fr.frags {
+		for id := range f.nodes {
+			fr.byNode[id] = append(fr.byNode[id], f.ID)
+		}
+	}
+	for id := range fr.byNode {
+		sort.Ints(fr.byNode[id])
+	}
+	return fr, nil
+}
+
+// Base returns the fragmented graph.
+func (fr *Fragmentation) Base() *graph.Graph { return fr.base }
+
+// NumFragments returns the number of fragments n.
+func (fr *Fragmentation) NumFragments() int { return len(fr.frags) }
+
+// Fragment returns fragment i.
+func (fr *Fragmentation) Fragment(i int) *Fragment { return fr.frags[i] }
+
+// Fragments returns all fragments in ID order.
+func (fr *Fragmentation) Fragments() []*Fragment { return fr.frags }
+
+// FragmentsOf returns the IDs of the fragments containing node id
+// (ascending); nil if the node appears in none (isolated in the base
+// graph).
+func (fr *Fragmentation) FragmentsOf(id graph.NodeID) []int { return fr.byNode[id] }
+
+// Pair identifies an unordered fragment pair with I < J.
+type Pair struct{ I, J int }
+
+// MakePair normalises a fragment pair to I < J.
+func MakePair(a, b int) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{I: a, J: b}
+}
+
+// DisconnectionSets returns every non-empty DS_ij = V_i ∩ V_j as a
+// sorted node list, keyed by the normalised pair. Complementary
+// information in the disconnection set approach is precomputed exactly
+// for these node sets.
+func (fr *Fragmentation) DisconnectionSets() map[Pair][]graph.NodeID {
+	ds := make(map[Pair][]graph.NodeID)
+	for id, fs := range fr.byNode {
+		for a := 0; a < len(fs); a++ {
+			for b := a + 1; b < len(fs); b++ {
+				p := Pair{I: fs[a], J: fs[b]}
+				ds[p] = append(ds[p], id)
+			}
+		}
+	}
+	for p := range ds {
+		graph.SortNodeIDs(ds[p])
+	}
+	return ds
+}
+
+// DisconnectionSet returns DS_ij (sorted), or nil if empty.
+func (fr *Fragmentation) DisconnectionSet(a, b int) []graph.NodeID {
+	return fr.DisconnectionSets()[MakePair(a, b)]
+}
+
+// BorderNodes returns the nodes of fragment i shared with any other
+// fragment (the union of its disconnection sets), sorted.
+func (fr *Fragmentation) BorderNodes(i int) []graph.NodeID {
+	var ids []graph.NodeID
+	for id, fs := range fr.byNode {
+		if len(fs) < 2 {
+			continue
+		}
+		for _, f := range fs {
+			if f == i {
+				ids = append(ids, id)
+				break
+			}
+		}
+	}
+	return graph.SortNodeIDs(ids)
+}

@@ -1,0 +1,221 @@
+// Package kconn implements the graph-theoretic fragmentation analysis
+// the ICDE'93 paper tried first and rejected (§3): "investigating the
+// k-connectivity of a graph (this is the smallest number of
+// node-distinct paths between any pair of nodes from the graph). The
+// nodes whose removal would increase the k-connectivity of the graph
+// were marked as 'relevant' nodes, with the idea that a number of them
+// could be selected to form disconnection sets."
+//
+// The paper reports two failure modes, both reproducible with this
+// package (see the ablation benchmark): cycles in the fragmentation
+// graph let k-connectivity be "influenced by paths taking detours
+// through other fragments", and the computation is expensive — every
+// node pair needs a max-flow, so the analysis costs O(n²) flow
+// computations against the near-linear §3 algorithms.
+//
+// Connectivity is computed over the undirected view of the graph
+// (transportation networks are symmetric), via Menger's theorem: the
+// number of node-distinct paths between s and t equals the max flow in
+// the node-split unit-capacity network.
+package kconn
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// NodeDisjointPaths returns the maximum number of node-distinct paths
+// between s and t in the undirected view of g (interior nodes distinct;
+// a direct edge counts as one path). It returns 0 if either node is
+// missing or the nodes are equal.
+func NodeDisjointPaths(g *graph.Graph, s, t graph.NodeID) int {
+	if s == t || !g.HasNode(s) || !g.HasNode(t) {
+		return 0
+	}
+	f := newFlow(g, s, t)
+	return f.maxFlow()
+}
+
+// KConnectivity returns the smallest number of node-distinct paths over
+// all node pairs — the paper's informal definition. A disconnected
+// graph has k-connectivity 0; a single node has 0 by convention.
+func KConnectivity(g *graph.Graph) int {
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		return 0
+	}
+	min := math.MaxInt
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if k := NodeDisjointPaths(g, nodes[i], nodes[j]); k < min {
+				min = k
+				if min == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return min
+}
+
+// componentConnectivity is KConnectivity restricted to pairs within the
+// same weakly connected component; isolated components of one node are
+// ignored. It captures "how well connected the graph is once split" —
+// the quantity that rises when a separator node is removed.
+func componentConnectivity(g *graph.Graph) int {
+	min := math.MaxInt
+	for _, comp := range g.ConnectedComponents() {
+		for i := 0; i < len(comp); i++ {
+			for j := i + 1; j < len(comp); j++ {
+				if k := NodeDisjointPaths(g, comp[i], comp[j]); k < min {
+					min = k
+					if min == 0 {
+						return 0
+					}
+				}
+			}
+		}
+	}
+	if min == math.MaxInt {
+		return 0
+	}
+	return min
+}
+
+// RelevantNodes returns the nodes whose removal increases the
+// (within-component) k-connectivity of the graph — the candidate
+// disconnection-set members of the rejected approach. On the archetypal
+// transportation graph (dense clusters joined through few border
+// nodes) these are exactly the border nodes: removing one leaves the
+// dense, well-connected clusters.
+func RelevantNodes(g *graph.Graph) []graph.NodeID {
+	baseline := KConnectivity(g)
+	var relevant []graph.NodeID
+	for _, v := range g.Nodes() {
+		if componentConnectivity(without(g, v)) > baseline {
+			relevant = append(relevant, v)
+		}
+	}
+	return relevant
+}
+
+// without returns a copy of g with node v (and its incident edges)
+// removed.
+func without(g *graph.Graph, v graph.NodeID) *graph.Graph {
+	out := graph.New()
+	for _, id := range g.Nodes() {
+		if id != v {
+			out.AddNode(id, g.Coord(id))
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.From != v && e.To != v {
+			out.AddEdge(e)
+		}
+	}
+	return out
+}
+
+// --- unit-capacity max flow on the node-split network ---
+
+// flow is an Edmonds-Karp solver over the split network: node v
+// becomes v_in (2v) → v_out (2v+1) with capacity 1 (∞ for s and t);
+// each undirected edge {u, w} becomes u_out→w_in and w_out→u_in with
+// capacity 1.
+type flow struct {
+	n    int
+	s, t int
+	cap  map[[2]int]int
+	adj  map[int][]int
+}
+
+// newFlow builds the split network for s→t connectivity in g.
+func newFlow(g *graph.Graph, s, t graph.NodeID) *flow {
+	idx := make(map[graph.NodeID]int)
+	for i, id := range g.Nodes() {
+		idx[id] = i
+	}
+	f := &flow{
+		n:   2 * len(idx),
+		s:   2*idx[s] + 1, // source leaves from s_out
+		t:   2 * idx[t],   // sink is t_in
+		cap: make(map[[2]int]int),
+		adj: make(map[int][]int),
+	}
+	addArc := func(u, v, c int) {
+		if _, ok := f.cap[[2]int{u, v}]; !ok {
+			f.adj[u] = append(f.adj[u], v)
+			f.adj[v] = append(f.adj[v], u)
+		}
+		f.cap[[2]int{u, v}] += c
+	}
+	const inf = 1 << 30
+	for id, i := range idx {
+		c := 1
+		if id == s || id == t {
+			c = inf
+		}
+		addArc(2*i, 2*i+1, c)
+	}
+	seen := make(map[[2]graph.NodeID]bool)
+	for _, e := range g.Edges() {
+		a, b := e.From, e.To
+		if a == b {
+			continue
+		}
+		key := [2]graph.NodeID{a, b}
+		if a > b {
+			key = [2]graph.NodeID{b, a}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		u, v := idx[a], idx[b]
+		addArc(2*u+1, 2*v, 1)
+		addArc(2*v+1, 2*u, 1)
+	}
+	return f
+}
+
+// maxFlow runs BFS augmentation until no path remains.
+func (f *flow) maxFlow() int {
+	total := 0
+	for {
+		// BFS for an augmenting path in the residual network.
+		parent := make(map[int]int, f.n)
+		parent[f.s] = f.s
+		queue := []int{f.s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range f.adj[u] {
+				if _, seen := parent[v]; !seen && f.cap[[2]int{u, v}] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+			if _, ok := parent[f.t]; ok {
+				break
+			}
+		}
+		if _, ok := parent[f.t]; !ok {
+			return total
+		}
+		// Bottleneck along the path.
+		bottleneck := math.MaxInt
+		for v := f.t; v != f.s; v = parent[v] {
+			u := parent[v]
+			if c := f.cap[[2]int{u, v}]; c < bottleneck {
+				bottleneck = c
+			}
+		}
+		for v := f.t; v != f.s; v = parent[v] {
+			u := parent[v]
+			f.cap[[2]int{u, v}] -= bottleneck
+			f.cap[[2]int{v, u}] += bottleneck
+		}
+		total += bottleneck
+	}
+}

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// GridConfig parameterises the rectangular grid family used by the
+// Fig. 8 experiment (the paper's wide-ellipse sketch): a W×H lattice
+// with symmetric unit edges plus optional random diagonal shortcuts so
+// the structure is not perfectly regular.
+type GridConfig struct {
+	// Width and Height are the lattice dimensions in nodes.
+	Width, Height int
+	// DiagonalProb adds, per cell, a diagonal shortcut with this
+	// probability.
+	DiagonalProb float64
+	// Seed drives the diagonal placement.
+	Seed int64
+}
+
+// Grid generates the lattice. Node (x, y) has ID y·Width+x and
+// coordinates (x, y), so the linear fragmentation algorithm's axis
+// sweeps align with the lattice.
+func Grid(cfg GridConfig) (*graph.Graph, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("gen: grid dimensions must be positive, got %d×%d", cfg.Width, cfg.Height)
+	}
+	if cfg.DiagonalProb < 0 || cfg.DiagonalProb > 1 {
+		return nil, fmt.Errorf("gen: DiagonalProb must be in [0, 1], got %g", cfg.DiagonalProb)
+	}
+	g := graph.New()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	id := func(x, y int) graph.NodeID { return graph.NodeID(y*cfg.Width + x) }
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			g.AddNode(id(x, y), graph.Coord{X: float64(x), Y: float64(y)})
+		}
+	}
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			if x+1 < cfg.Width {
+				g.AddBoth(graph.Edge{From: id(x, y), To: id(x+1, y), Weight: 1})
+			}
+			if y+1 < cfg.Height {
+				g.AddBoth(graph.Edge{From: id(x, y), To: id(x, y+1), Weight: 1})
+			}
+			if x+1 < cfg.Width && y+1 < cfg.Height && rng.Float64() < cfg.DiagonalProb {
+				g.AddBoth(graph.Edge{From: id(x, y), To: id(x+1, y+1), Weight: 1})
+			}
+		}
+	}
+	return g, nil
+}

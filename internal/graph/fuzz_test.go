@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text to the graph parser: it must never
+// panic, and any graph it accepts must survive a write/read round trip.
+// (Seed corpus only under plain `go test`; run `go test -fuzz=FuzzRead
+// ./internal/graph` to explore.)
+func FuzzRead(f *testing.F) {
+	f.Add("node 1 0 0\nedge 1 2 1.5\n")
+	f.Add("# comment\n\nedge 3 4\n")
+	f.Add("node 1 0.5 -2\nnode 2 3 4\nedge 1 2 2.25\nedge 2 1 1\n")
+	f.Add("edge 1 1 0\n")
+	f.Add("node -5 1e300 -1e300\n")
+	f.Add("bogus\n")
+	f.Add("edge a b c\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumNodes() != g.NumNodes() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed the graph: %v vs %v", back, g)
+		}
+	})
+}

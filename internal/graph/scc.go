@@ -1,0 +1,121 @@
+package graph
+
+// StronglyConnectedComponents returns the strongly connected components
+// of the directed graph in reverse topological order of the condensation
+// (every edge of the condensation points from a later component to an
+// earlier one in the returned slice). Each component is sorted
+// ascending. The algorithm is Tarjan's, iterative to survive deep
+// recursion on path graphs.
+//
+// SCC condensation is the classic preprocessing step for transitive
+// closure on cyclic graphs — all members of a component reach exactly
+// the same nodes — and package tc builds its condensation closure on
+// it.
+func (g *Graph) StronglyConnectedComponents() [][]NodeID {
+	nodes := g.Nodes()
+	index := make(map[NodeID]int, len(nodes))
+	low := make(map[NodeID]int, len(nodes))
+	onStack := make(map[NodeID]bool, len(nodes))
+	var stack []NodeID
+	var comps [][]NodeID
+	next := 0
+
+	type frame struct {
+		node NodeID
+		ei   int // next out-edge index to explore
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		callStack := []frame{{node: root}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			out := g.Out(f.node)
+			advanced := false
+			for f.ei < len(out) {
+				w := out[f.ei].To
+				f.ei++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[f.node] {
+					low[f.node] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.node is finished.
+			v := f.node
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].node
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, SortNodeIDs(comp))
+			}
+		}
+	}
+	return comps
+}
+
+// Condensation returns the DAG of strongly connected components: a new
+// graph with one node per component (IDs are component indices into the
+// returned components slice) and an edge c1→c2 whenever some original
+// edge crosses from component c1 to component c2. Edge weights are the
+// minimum crossing weight.
+func (g *Graph) Condensation() (dag *Graph, comps [][]NodeID, compOf map[NodeID]int) {
+	comps = g.StronglyConnectedComponents()
+	compOf = make(map[NodeID]int, g.NumNodes())
+	for ci, comp := range comps {
+		for _, id := range comp {
+			compOf[id] = ci
+		}
+	}
+	dag = New()
+	for ci := range comps {
+		dag.AddNode(NodeID(ci), Coord{})
+	}
+	best := make(map[[2]int]float64)
+	for _, e := range g.Edges() {
+		cf, ct := compOf[e.From], compOf[e.To]
+		if cf == ct {
+			continue
+		}
+		key := [2]int{cf, ct}
+		if w, ok := best[key]; !ok || e.Weight < w {
+			best[key] = e.Weight
+		}
+	}
+	for key, w := range best {
+		dag.AddEdge(Edge{From: NodeID(key[0]), To: NodeID(key[1]), Weight: w})
+	}
+	return dag, comps, compOf
+}

@@ -1,0 +1,197 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CountBy groups by the named key attributes and returns one tuple per
+// group with the keys followed by an int64 "count" attribute. Group
+// order follows first appearance.
+func (r *Relation) CountBy(keyAttrs ...string) (*Relation, error) {
+	if len(keyAttrs) == 0 {
+		return nil, fmt.Errorf("relation: countby: need at least one key attribute")
+	}
+	kpos := make([]int, len(keyAttrs))
+	for i, a := range keyAttrs {
+		p := r.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: countby: unknown attribute %q", a)
+		}
+		kpos[i] = p
+	}
+	outSchema := append(append(Schema(nil), keyAttrs...), "count")
+	if outSchema.IndexOf("count") != len(outSchema)-1 {
+		return nil, fmt.Errorf("relation: countby: key attribute named %q collides with the count column", "count")
+	}
+	counts := make(map[string]int64)
+	reps := make(map[string]Tuple)
+	var order []string
+	for _, t := range r.tuples {
+		k := keyAt(t, kpos)
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+			rep := make(Tuple, len(kpos))
+			for i, p := range kpos {
+				rep[i] = t[p]
+			}
+			reps[k] = rep
+		}
+		counts[k]++
+	}
+	out := &Relation{schema: outSchema}
+	for _, k := range order {
+		out.tuples = append(out.tuples, append(append(Tuple(nil), reps[k]...), counts[k]))
+	}
+	return out, nil
+}
+
+// MaxBy groups by the key attributes and keeps, per group, the tuple
+// maximising the named numeric attribute (the dual of MinBy; the paper
+// needs min for shortest paths, but longest-path-style analyses and
+// tests use max).
+func (r *Relation) MaxBy(valueAttr string, keyAttrs ...string) (*Relation, error) {
+	neg, err := r.mapNumeric(valueAttr, func(v float64) float64 { return -v })
+	if err != nil {
+		return nil, err
+	}
+	m, err := neg.MinBy(valueAttr, keyAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	return m.mapNumeric(valueAttr, func(v float64) float64 { return -v })
+}
+
+// mapNumeric returns a copy with fn applied to the named numeric
+// attribute. int64 attributes are widened to float64.
+func (r *Relation) mapNumeric(attr string, fn func(float64) float64) (*Relation, error) {
+	i := r.schema.IndexOf(attr)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: unknown attribute %q", attr)
+	}
+	out := &Relation{schema: r.Schema()}
+	for _, t := range r.tuples {
+		v, err := numeric(t[i])
+		if err != nil {
+			return nil, err
+		}
+		nt := append(Tuple(nil), t...)
+		nt[i] = fn(v)
+		out.tuples = append(out.tuples, nt)
+	}
+	return out, nil
+}
+
+// OrderBy returns a copy sorted by the named attributes in order
+// (ascending, numeric attributes numerically, others by encoded key).
+// The sort is stable.
+func (r *Relation) OrderBy(attrs ...string) (*Relation, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: orderby: need at least one attribute")
+	}
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: orderby: unknown attribute %q", a)
+		}
+		pos[i] = p
+	}
+	out := r.Clone()
+	sort.SliceStable(out.tuples, func(i, j int) bool {
+		for _, p := range pos {
+			a, b := out.tuples[i][p], out.tuples[j][p]
+			if c := compareValues(a, b); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// compareValues orders two values: numerics numerically when both are
+// numeric, otherwise by encoded key.
+func compareValues(a, b Value) int {
+	fa, errA := numeric(a)
+	fb, errB := numeric(b)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	}
+	ka, kb := Tuple{a}.Key(), Tuple{b}.Key()
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	}
+	return 0
+}
+
+// Limit returns the first n tuples (all of them if n exceeds the
+// cardinality; error when n is negative).
+func (r *Relation) Limit(n int) (*Relation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("relation: limit: negative n %d", n)
+	}
+	if n > len(r.tuples) {
+		n = len(r.tuples)
+	}
+	out := &Relation{schema: r.Schema()}
+	for _, t := range r.tuples[:n] {
+		out.tuples = append(out.tuples, append(Tuple(nil), t...))
+	}
+	return out, nil
+}
+
+// Product returns the Cartesian product of r and s; schemas must be
+// disjoint.
+func (r *Relation) Product(s *Relation) (*Relation, error) {
+	outSchema := append(Schema(nil), r.schema...)
+	for _, a := range s.schema {
+		if outSchema.IndexOf(a) >= 0 {
+			return nil, fmt.Errorf("relation: product: attribute %q ambiguous; rename first", a)
+		}
+		outSchema = append(outSchema, a)
+	}
+	out := &Relation{schema: outSchema}
+	for _, rt := range r.tuples {
+		for _, st := range s.tuples {
+			nt := make(Tuple, 0, len(rt)+len(st))
+			nt = append(nt, rt...)
+			nt = append(nt, st...)
+			out.tuples = append(out.tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ s with set semantics.
+func (r *Relation) Intersect(s *Relation) (*Relation, error) {
+	if !r.schema.Equal(s.schema) {
+		return nil, fmt.Errorf("relation: intersect: schema mismatch %v vs %v", r.schema, s.schema)
+	}
+	keep := make(map[string]struct{}, s.Len())
+	for _, t := range s.tuples {
+		keep[t.Key()] = struct{}{}
+	}
+	out := &Relation{schema: r.Schema()}
+	seen := make(map[string]struct{})
+	for _, t := range r.tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if _, ok := keep[k]; ok {
+			seen[k] = struct{}{}
+			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		}
+	}
+	return out, nil
+}

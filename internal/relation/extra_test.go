@@ -1,0 +1,198 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountBy(t *testing.T) {
+	r := edgeRel([3]int64{1, 2, 1}, [3]int64{1, 3, 1}, [3]int64{2, 3, 1})
+	c, err := r.CountBy("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Schema().Equal(Schema{"src", "count"}) {
+		t.Fatalf("schema = %v", c.Schema())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("groups = %d", c.Len())
+	}
+	if !c.Contains(Tuple{int64(1), int64(2)}) || !c.Contains(Tuple{int64(2), int64(1)}) {
+		t.Errorf("counts = %v", c)
+	}
+	if _, err := r.CountBy(); err == nil {
+		t.Error("no keys accepted")
+	}
+	if _, err := r.CountBy("ghost"); err == nil {
+		t.Error("unknown key accepted")
+	}
+	bad := New("count", "x")
+	bad.MustInsert(Tuple{int64(1), int64(2)})
+	if _, err := bad.CountBy("count"); err == nil {
+		t.Error("count-name collision accepted")
+	}
+}
+
+func TestMaxBy(t *testing.T) {
+	r := edgeRel([3]int64{1, 2, 3}, [3]int64{1, 2, 9}, [3]int64{1, 3, 4})
+	m, err := r.MaxBy("cost", "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("MaxBy size = %d", m.Len())
+	}
+	if !m.Contains(Tuple{int64(1), int64(2), float64(9)}) {
+		t.Errorf("MaxBy = %v", m)
+	}
+	if _, err := r.MaxBy("ghost", "src"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	r := edgeRel([3]int64{3, 1, 5}, [3]int64{1, 9, 2}, [3]int64{1, 2, 8})
+	o, err := r.OrderBy("src", "cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := o.Tuples()
+	if got[0][0] != int64(1) || got[0][2] != float64(2) {
+		t.Errorf("first tuple = %v", got[0])
+	}
+	if got[2][0] != int64(3) {
+		t.Errorf("last tuple = %v", got[2])
+	}
+	top, err := o.Limit(2)
+	if err != nil || top.Len() != 2 {
+		t.Errorf("Limit(2) = %v, %v", top, err)
+	}
+	all, err := o.Limit(100)
+	if err != nil || all.Len() != 3 {
+		t.Errorf("Limit(100) = %v, %v", all, err)
+	}
+	if _, err := o.Limit(-1); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, err := r.OrderBy(); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := r.OrderBy("ghost"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestOrderByMixedTypes(t *testing.T) {
+	r := New("v")
+	r.MustInsert(Tuple{"b"})
+	r.MustInsert(Tuple{"a"})
+	o, err := r.OrderBy("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tuples()[0][0] != "a" {
+		t.Errorf("string order = %v", o.Tuples())
+	}
+}
+
+func TestProduct(t *testing.T) {
+	a := New("x")
+	a.MustInsert(Tuple{int64(1)})
+	a.MustInsert(Tuple{int64(2)})
+	b := New("y")
+	b.MustInsert(Tuple{"u"})
+	p, err := a.Product(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || !p.Schema().Equal(Schema{"x", "y"}) {
+		t.Errorf("product = %v", p)
+	}
+	if _, err := a.Product(a); err == nil {
+		t.Error("ambiguous product accepted")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := edgeRel([3]int64{1, 2, 1}, [3]int64{2, 3, 1}, [3]int64{2, 3, 1})
+	b := edgeRel([3]int64{2, 3, 1}, [3]int64{9, 9, 1})
+	i, err := a.Intersect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Len() != 1 || !i.Contains(Tuple{int64(2), int64(3), float64(1)}) {
+		t.Errorf("intersect = %v", i)
+	}
+	if _, err := a.Intersect(New("x")); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+// TestPropertySetAlgebra: A ∩ B == A \ (A \ B) with set semantics.
+func TestPropertySetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Relation {
+			r := New("a", "b")
+			for i := 0; i < rng.Intn(15); i++ {
+				r.MustInsert(Tuple{int64(rng.Intn(4)), int64(rng.Intn(4))})
+			}
+			return r
+		}
+		a, b := mk(), mk()
+		inter, err := a.Intersect(b)
+		if err != nil {
+			return false
+		}
+		diff, err := a.Difference(b)
+		if err != nil {
+			return false
+		}
+		alt, err := a.Distinct().Difference(diff)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(inter.Sort().Tuples(), alt.Sort().Tuples())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMinMaxDual: MaxBy(v) == -MinBy(-v) already by
+// construction; check against a direct scan instead.
+func TestPropertyMinMaxDual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New("k", "v")
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			r.MustInsert(Tuple{int64(rng.Intn(3)), float64(rng.Intn(20))})
+		}
+		m, err := r.MaxBy("v", "k")
+		if err != nil {
+			return false
+		}
+		// Direct scan.
+		best := make(map[int64]float64)
+		for _, t := range r.Tuples() {
+			k, v := t[0].(int64), t[1].(float64)
+			if old, ok := best[k]; !ok || v > old {
+				best[k] = v
+			}
+		}
+		if m.Len() != len(best) {
+			return false
+		}
+		for _, t := range m.Tuples() {
+			if best[t[0].(int64)] != t[1].(float64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

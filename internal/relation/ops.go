@@ -1,0 +1,269 @@
+package relation
+
+import "fmt"
+
+// Predicate decides whether a tuple satisfies a selection condition.
+type Predicate func(Tuple) bool
+
+// Select returns the tuples of r satisfying pred, preserving order.
+func (r *Relation) Select(pred Predicate) *Relation {
+	out := &Relation{schema: r.Schema()}
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		}
+	}
+	return out
+}
+
+// SelectEq selects tuples whose named attribute equals v; this is the
+// σ_attr=v of the algebra and the keyhole selection the disconnection
+// sets induce on per-fragment subqueries.
+func (r *Relation) SelectEq(attr string, v Value) (*Relation, error) {
+	i := r.schema.IndexOf(attr)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: select: unknown attribute %q", attr)
+	}
+	return r.Select(func(t Tuple) bool { return valueEqual(t[i], v) }), nil
+}
+
+// SelectIn selects tuples whose named attribute is a member of set; it
+// models the "disconnection sets act as some sort of keyhole" selection
+// of §2.2, where only paths through the DS nodes are examined.
+func (r *Relation) SelectIn(attr string, set map[Value]struct{}) (*Relation, error) {
+	i := r.schema.IndexOf(attr)
+	if i < 0 {
+		return nil, fmt.Errorf("relation: select: unknown attribute %q", attr)
+	}
+	keys := make(map[string]struct{}, len(set))
+	for v := range set {
+		keys[Tuple{v}.Key()] = struct{}{}
+	}
+	return r.Select(func(t Tuple) bool {
+		_, ok := keys[Tuple{t[i]}.Key()]
+		return ok
+	}), nil
+}
+
+// valueEqual compares two values, treating int64/float64 as distinct
+// types (the engine does no implicit coercion).
+func valueEqual(a, b Value) bool { return Tuple{a}.Key() == Tuple{b}.Key() }
+
+// Project returns the projection of r onto the named attributes, in the
+// given order, keeping bag semantics (duplicates preserved).
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: project: unknown attribute %q", a)
+		}
+		pos[i] = p
+	}
+	out := New(attrs...)
+	for _, t := range r.tuples {
+		nt := make(Tuple, len(pos))
+		for i, p := range pos {
+			nt[i] = t[p]
+		}
+		out.tuples = append(out.tuples, nt)
+	}
+	return out, nil
+}
+
+// Rename returns a relation with the same tuples and renamed attributes.
+func (r *Relation) Rename(newSchema ...string) (*Relation, error) {
+	if len(newSchema) != len(r.schema) {
+		return nil, fmt.Errorf("relation: rename: arity mismatch %d vs %d", len(newSchema), len(r.schema))
+	}
+	out := New(newSchema...)
+	out.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out.tuples[i] = append(Tuple(nil), t...)
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate tuples, keeping the first occurrence.
+func (r *Relation) Distinct() *Relation {
+	out := &Relation{schema: r.Schema()}
+	seen := make(map[string]struct{}, len(r.tuples))
+	for _, t := range r.tuples {
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.tuples = append(out.tuples, append(Tuple(nil), t...))
+	}
+	return out
+}
+
+// Union returns r ∪ s with set semantics (distinct tuples). Schemas
+// must match exactly.
+func (r *Relation) Union(s *Relation) (*Relation, error) {
+	if !r.schema.Equal(s.schema) {
+		return nil, fmt.Errorf("relation: union: schema mismatch %v vs %v", r.schema, s.schema)
+	}
+	out := &Relation{schema: r.Schema()}
+	seen := make(map[string]struct{}, len(r.tuples)+len(s.tuples))
+	for _, src := range []*Relation{r, s} {
+		for _, t := range src.tuples {
+			k := t.Key()
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		}
+	}
+	return out, nil
+}
+
+// Difference returns r \ s with set semantics; it is the delta step of
+// semi-naive evaluation (new tuples = derived \ known).
+func (r *Relation) Difference(s *Relation) (*Relation, error) {
+	if !r.schema.Equal(s.schema) {
+		return nil, fmt.Errorf("relation: difference: schema mismatch %v vs %v", r.schema, s.schema)
+	}
+	drop := make(map[string]struct{}, len(s.tuples))
+	for _, t := range s.tuples {
+		drop[t.Key()] = struct{}{}
+	}
+	out := &Relation{schema: r.Schema()}
+	seen := make(map[string]struct{})
+	for _, t := range r.tuples {
+		k := t.Key()
+		if _, isDup := seen[k]; isDup {
+			continue
+		}
+		if _, gone := drop[k]; gone {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.tuples = append(out.tuples, append(Tuple(nil), t...))
+	}
+	return out, nil
+}
+
+// Join computes the equi-join of r and s on the named attribute pairs
+// (leftAttrs[i] = rightAttrs[i]) with a hash join: the smaller operand
+// is built into a hash table and the larger probed, which is also how
+// the final assembly joins of the disconnection set approach exploit
+// their "relatively small operands" (§2.1).
+//
+// The output schema is r's attributes followed by s's attributes that
+// are not join attributes; join attributes appear once, under their
+// left-hand names.
+func (r *Relation) Join(s *Relation, leftAttrs, rightAttrs []string) (*Relation, error) {
+	if len(leftAttrs) != len(rightAttrs) || len(leftAttrs) == 0 {
+		return nil, fmt.Errorf("relation: join: need equal non-empty attribute lists, got %d and %d", len(leftAttrs), len(rightAttrs))
+	}
+	lpos := make([]int, len(leftAttrs))
+	for i, a := range leftAttrs {
+		p := r.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: join: unknown left attribute %q", a)
+		}
+		lpos[i] = p
+	}
+	rpos := make([]int, len(rightAttrs))
+	rjoin := make(map[int]struct{}, len(rightAttrs))
+	for i, a := range rightAttrs {
+		p := s.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: join: unknown right attribute %q", a)
+		}
+		rpos[i] = p
+		rjoin[p] = struct{}{}
+	}
+
+	// Output schema: all of r, then s minus its join attributes.
+	outSchema := append(Schema(nil), r.schema...)
+	var rkeep []int
+	for i, a := range s.schema {
+		if _, isJoin := rjoin[i]; isJoin {
+			continue
+		}
+		if outSchema.IndexOf(a) >= 0 {
+			return nil, fmt.Errorf("relation: join: attribute %q ambiguous in output; rename first", a)
+		}
+		outSchema = append(outSchema, a)
+		rkeep = append(rkeep, i)
+	}
+
+	out := &Relation{schema: outSchema}
+	// Build on the smaller side, probe with the larger.
+	if len(r.tuples) <= len(s.tuples) {
+		table := make(map[string][]Tuple, len(r.tuples))
+		for _, t := range r.tuples {
+			k := keyAt(t, lpos)
+			table[k] = append(table[k], t)
+		}
+		for _, st := range s.tuples {
+			for _, rt := range table[keyAt(st, rpos)] {
+				out.tuples = append(out.tuples, combine(rt, st, rkeep))
+			}
+		}
+	} else {
+		table := make(map[string][]Tuple, len(s.tuples))
+		for _, t := range s.tuples {
+			k := keyAt(t, rpos)
+			table[k] = append(table[k], t)
+		}
+		for _, rt := range r.tuples {
+			for _, st := range table[keyAt(rt, lpos)] {
+				out.tuples = append(out.tuples, combine(rt, st, rkeep))
+			}
+		}
+	}
+	return out, nil
+}
+
+// combine concatenates a left tuple with the kept positions of a right
+// tuple.
+func combine(rt, st Tuple, rkeep []int) Tuple {
+	nt := make(Tuple, 0, len(rt)+len(rkeep))
+	nt = append(nt, rt...)
+	for _, p := range rkeep {
+		nt = append(nt, st[p])
+	}
+	return nt
+}
+
+// SemiJoin returns the tuples of r that join with at least one tuple of
+// s on the given attributes. Semi-joins are the classic distributed
+// query processing primitive for shipping small operands, which is what
+// the disconnection set approach does with DS node lists.
+func (r *Relation) SemiJoin(s *Relation, leftAttrs, rightAttrs []string) (*Relation, error) {
+	if len(leftAttrs) != len(rightAttrs) || len(leftAttrs) == 0 {
+		return nil, fmt.Errorf("relation: semijoin: need equal non-empty attribute lists")
+	}
+	lpos := make([]int, len(leftAttrs))
+	for i, a := range leftAttrs {
+		p := r.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: semijoin: unknown left attribute %q", a)
+		}
+		lpos[i] = p
+	}
+	rpos := make([]int, len(rightAttrs))
+	for i, a := range rightAttrs {
+		p := s.schema.IndexOf(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relation: semijoin: unknown right attribute %q", a)
+		}
+		rpos[i] = p
+	}
+	keys := make(map[string]struct{}, len(s.tuples))
+	for _, t := range s.tuples {
+		keys[keyAt(t, rpos)] = struct{}{}
+	}
+	out := &Relation{schema: r.Schema()}
+	for _, t := range r.tuples {
+		if _, ok := keys[keyAt(t, lpos)]; ok {
+			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		}
+	}
+	return out, nil
+}

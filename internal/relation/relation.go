@@ -1,0 +1,221 @@
+// Package relation implements a small in-memory relational algebra.
+//
+// The ICDE'93 paper frames transitive closure in the relational model:
+// the base relation R stores the edges of a connection network, the
+// recursive subqueries per fragment are relational fixpoints, and the
+// final assembly phase of the disconnection set approach "is effectively
+// a sequence of binary joins between a number of very small relations"
+// (§2.1). This package supplies that substrate: relations with named
+// attributes, selection, projection, hash join, union, difference,
+// distinct and group-by aggregation, all deterministic for a fixed
+// input order.
+//
+// Values are restricted to int64, float64, string and bool; attribute
+// names are case-sensitive strings. Relations are bags unless Distinct
+// is applied; the transitive-closure operators in package tc maintain
+// set semantics themselves (as semi-naive evaluation requires).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a single attribute value. Supported dynamic types are int64,
+// float64, string and bool; Validate reports anything else.
+type Value interface{}
+
+// Tuple is an ordered list of attribute values matching a relation's
+// schema.
+type Tuple []Value
+
+// Schema is an ordered list of attribute names.
+type Schema []string
+
+// IndexOf returns the position of attribute name, or -1.
+func (s Schema) IndexOf(name string) int {
+	for i, a := range s {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical names in identical
+// order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a named bag of tuples over a schema.
+type Relation struct {
+	schema Schema
+	tuples []Tuple
+}
+
+// New returns an empty relation with the given schema. It panics on an
+// empty or duplicate attribute list — schema construction is a
+// programming error, not a runtime condition.
+func New(schema ...string) *Relation {
+	if len(schema) == 0 {
+		panic("relation: empty schema")
+	}
+	seen := make(map[string]struct{}, len(schema))
+	for _, a := range schema {
+		if _, dup := seen[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q", a))
+		}
+		seen[a] = struct{}{}
+	}
+	return &Relation{schema: append(Schema(nil), schema...)}
+}
+
+// Schema returns a copy of the relation's schema.
+func (r *Relation) Schema() Schema { return append(Schema(nil), r.schema...) }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.schema) }
+
+// Len returns the number of tuples (bag cardinality).
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert appends a tuple. It returns an error if the arity mismatches
+// the schema or a value has an unsupported type.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != len(r.schema) {
+		return fmt.Errorf("relation: tuple arity %d does not match schema arity %d", len(t), len(r.schema))
+	}
+	for i, v := range t {
+		if !validValue(v) {
+			return fmt.Errorf("relation: attribute %q has unsupported type %T", r.schema[i], v)
+		}
+	}
+	r.tuples = append(r.tuples, append(Tuple(nil), t...))
+	return nil
+}
+
+// MustInsert inserts and panics on error; for tests and literals.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Tuples returns the tuples in insertion order. The slice and its tuples
+// are owned by the relation; callers must not modify them.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{schema: r.Schema(), tuples: make([]Tuple, len(r.tuples))}
+	for i, t := range r.tuples {
+		c.tuples[i] = append(Tuple(nil), t...)
+	}
+	return c
+}
+
+// validValue reports whether v has one of the supported dynamic types.
+func validValue(v Value) bool {
+	switch v.(type) {
+	case int64, float64, string, bool:
+		return true
+	}
+	return false
+}
+
+// encodeValue renders a value into a hash key, prefixing the type so
+// int64(1) and "1" never collide.
+func encodeValue(sb *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case int64:
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(x, 10))
+	case float64:
+		sb.WriteByte('f')
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		sb.WriteByte('s')
+		sb.WriteString(strconv.Itoa(len(x)))
+		sb.WriteByte(':')
+		sb.WriteString(x)
+	case bool:
+		sb.WriteByte('b')
+		if x {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	default:
+		panic(fmt.Sprintf("relation: unsupported value type %T", v))
+	}
+	sb.WriteByte('|')
+}
+
+// Key renders the whole tuple into a string usable as a map key.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	for _, v := range t {
+		encodeValue(&sb, v)
+	}
+	return sb.String()
+}
+
+// keyAt renders the projection of t onto the given positions.
+func keyAt(t Tuple, pos []int) string {
+	var sb strings.Builder
+	for _, p := range pos {
+		encodeValue(&sb, t[p])
+	}
+	return sb.String()
+}
+
+// Contains reports whether the relation holds a tuple equal to t.
+func (r *Relation) Contains(t Tuple) bool {
+	k := t.Key()
+	for _, u := range r.tuples {
+		if u.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort orders the tuples lexicographically by their encoded keys, in
+// place, and returns the relation. Deterministic output for printing
+// and comparison in tests.
+func (r *Relation) Sort() *Relation {
+	sort.Slice(r.tuples, func(i, j int) bool {
+		return r.tuples[i].Key() < r.tuples[j].Key()
+	})
+	return r
+}
+
+// String renders the relation as a compact table.
+func (r *Relation) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.schema, ", "))
+	sb.WriteString(" (")
+	sb.WriteString(strconv.Itoa(len(r.tuples)))
+	sb.WriteString(" tuples)\n")
+	for _, t := range r.tuples {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+		sb.WriteString("  (")
+		sb.WriteString(strings.Join(parts, ", "))
+		sb.WriteString(")\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+// relationFromBase converts a graph into its edge relation (wrapper kept
+// local so sim.go reads as the simulation protocol only).
+func relationFromBase(g *graph.Graph) *relation.Relation {
+	return relation.FromGraph(g)
+}
+
+// shortestFrom runs the source-restricted min-cost fixpoint.
+func shortestFrom(rel *relation.Relation, source graph.NodeID) (*relation.Relation, tc.Stats, error) {
+	return tc.ShortestFrom(rel, []graph.NodeID{source})
+}

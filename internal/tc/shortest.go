@@ -1,0 +1,165 @@
+package tc
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+)
+
+// costSchema is the schema of shortest-path closures: the minimum cost
+// of any path from src to dst.
+var costSchema = relation.Schema{"src", "dst", "cost"}
+
+// normalizeEdges validates an edge relation and returns it with the
+// canonical (src, dst, cost) schema and minimal cost per edge (parallel
+// edges collapse to the cheapest).
+func normalizeEdges(r *relation.Relation) (*relation.Relation, error) {
+	if r.Arity() != 3 {
+		return nil, fmt.Errorf("tc: edge relation must have arity 3 (src, dst, cost), got %d", r.Arity())
+	}
+	edges, err := r.Rename(costSchema...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range edges.Tuples() {
+		c, ok := t[2].(float64)
+		if !ok {
+			return nil, fmt.Errorf("tc: edge cost %v (%T) is not float64", t[2], t[2])
+		}
+		if c < 0 {
+			return nil, fmt.Errorf("tc: negative edge cost %v not supported", c)
+		}
+	}
+	return edges.MinBy("cost", "src", "dst")
+}
+
+// ShortestClosure computes, for every ordered pair of connected nodes,
+// the cost of the cheapest path, by semi-naive evaluation with min-cost
+// aggregation: each round extends the improved tuples of the previous
+// round by one edge and keeps only strict improvements. For
+// non-negative costs the iteration reaches a fixpoint after at most
+// diameter-many rounds.
+//
+// This is the "cost of the shortest path between A and B" query of the
+// paper's introduction, and the per-fragment computation of the
+// disconnection set approach for path problems.
+func ShortestClosure(r *relation.Relation) (*relation.Relation, Stats, error) {
+	var st Stats
+	edges, err := normalizeEdges(r)
+	if err != nil {
+		return nil, st, err
+	}
+	return shortestFixpoint(edges, edges, &st)
+}
+
+// ShortestFrom computes the cheapest path costs from the given source
+// nodes only, seeding the fixpoint with their out-edges (selection
+// pushing, as in ReachableFrom).
+func ShortestFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relation, Stats, error) {
+	var st Stats
+	edges, err := normalizeEdges(r)
+	if err != nil {
+		return nil, st, err
+	}
+	seed, err := edges.SelectIn("src", relation.NodeSet(sources))
+	if err != nil {
+		return nil, st, err
+	}
+	return shortestFixpoint(seed, edges, &st)
+}
+
+// shortestFixpoint runs the min-cost delta iteration from seed over
+// edges; both have schema (src, dst, cost).
+func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Relation, Stats, error) {
+	known, err := seed.MinBy("cost", "src", "dst")
+	if err != nil {
+		return nil, *st, err
+	}
+	delta := known
+	renamed, err := edges.Rename("mid", "dst2", "cost2")
+	if err != nil {
+		return nil, *st, err
+	}
+	for delta.Len() > 0 {
+		st.Iterations++
+		joined, err := delta.Join(renamed, []string{"dst"}, []string{"mid"})
+		if err != nil {
+			return nil, *st, err
+		}
+		st.DerivedTuples += joined.Len()
+		// (src, dst, cost, dst2, cost2) → (src, dst2, cost+cost2).
+		cand := relation.New(costSchema...)
+		for _, t := range joined.Tuples() {
+			cand.MustInsert(relation.Tuple{t[0], t[3], t[2].(float64) + t[4].(float64)})
+		}
+		cand, err = cand.MinBy("cost", "src", "dst")
+		if err != nil {
+			return nil, *st, err
+		}
+		// Keep strict improvements over the known costs.
+		knownCost := indexCosts(known)
+		improved := relation.New(costSchema...)
+		for _, t := range cand.Tuples() {
+			k := relation.Tuple{t[0], t[1]}.Key()
+			if old, ok := knownCost[k]; !ok || t[2].(float64) < old {
+				improved.MustInsert(t)
+			}
+		}
+		if improved.Len() == 0 {
+			break
+		}
+		merged, err := known.Union(improved)
+		if err != nil {
+			return nil, *st, err
+		}
+		known, err = merged.MinBy("cost", "src", "dst")
+		if err != nil {
+			return nil, *st, err
+		}
+		delta = improved
+	}
+	st.ResultTuples = known.Len()
+	return known, *st, nil
+}
+
+// indexCosts builds a (src, dst) → cost map from a cost relation.
+func indexCosts(r *relation.Relation) map[string]float64 {
+	m := make(map[string]float64, r.Len())
+	for _, t := range r.Tuples() {
+		m[relation.Tuple{t[0], t[1]}.Key()] = t[2].(float64)
+	}
+	return m
+}
+
+// FloydWarshallCosts computes all-pairs shortest path costs over a
+// graph with the classic O(n³) dynamic program. It is the dense oracle
+// the relational fixpoints are validated against, and the tool the
+// disconnection-set preprocessor uses on small border sets.
+func FloydWarshallCosts(g *graph.Graph) map[graph.NodeID]map[graph.NodeID]float64 {
+	nodes := g.Nodes()
+	dist := make(map[graph.NodeID]map[graph.NodeID]float64, len(nodes))
+	for _, u := range nodes {
+		dist[u] = make(map[graph.NodeID]float64)
+		dist[u][u] = 0
+	}
+	for _, e := range g.Edges() {
+		if d, ok := dist[e.From][e.To]; !ok || e.Weight < d {
+			dist[e.From][e.To] = e.Weight
+		}
+	}
+	for _, k := range nodes {
+		for _, i := range nodes {
+			dik, ok := dist[i][k]
+			if !ok {
+				continue
+			}
+			for j, dkj := range dist[k] {
+				if d, ok := dist[i][j]; !ok || dik+dkj < d {
+					dist[i][j] = dik + dkj
+				}
+			}
+		}
+	}
+	return dist
+}
