@@ -306,6 +306,66 @@ func BenchmarkWarshallClosure(b *testing.B) {
 	}
 }
 
+// BenchmarkBitsetClosure times the bitset-parallel kernel on the same
+// graph as BenchmarkSemiNaiveClosure, for a direct comparison.
+func BenchmarkBitsetClosure(b *testing.B) {
+	rel := relation.FromGraph(benchGraph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tc.BitsetClosure(rel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGrid caches the 64×64 lattice of the engine shoot-out (one big
+// strongly connected component, diameter ≈ 126).
+var benchGrid = func() *graph.Graph {
+	g, err := gen.Grid(gen.GridConfig{Width: 64, Height: 64, DiagonalProb: 0.1, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}()
+
+// BenchmarkGridReachableFromSemiNaive times the per-leg semi-naive
+// engine (entry-set-restricted reachability) on the 64×64 grid.
+func BenchmarkGridReachableFromSemiNaive(b *testing.B) {
+	rel := relation.FromGraph(benchGrid)
+	srcs := []graph.NodeID{0, 2080}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tc.ReachableFrom(rel, srcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridReachableFromBitset times the bitset-parallel engine on
+// the identical subquery.
+func BenchmarkGridReachableFromBitset(b *testing.B) {
+	rel := relation.FromGraph(benchGrid)
+	srcs := []graph.NodeID{0, 2080}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tc.BitsetReachableFrom(rel, srcs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngines regenerates the engine shoot-out table once and
+// times the sweep.
+func BenchmarkEngines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.Engines(2, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("engines", r.Format())
+	}
+}
+
 // BenchmarkDijkstra times one single-source search.
 func BenchmarkDijkstra(b *testing.B) {
 	nodes := benchGraph.Nodes()

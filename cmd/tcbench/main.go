@@ -20,9 +20,10 @@ import (
 func main() {
 	var (
 		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
-		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation (empty = all)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines (empty = all)")
 		trials     = flag.Int("trials", 10, "random graphs per table")
 		queries    = flag.Int("queries", 20, "queries per performance point")
+		sources    = flag.Int("sources", 2, "entry-set size for the engines experiment")
 		seed       = flag.Int64("seed", 42, "base random seed")
 		tablesOnly = flag.Bool("tables-only", false, "skip the performance experiments")
 	)
@@ -90,6 +91,10 @@ func main() {
 		})
 		run("kconn", func() (fmt.Stringer, error) {
 			r, err := bench.KConnCost(*seed)
+			return formatter{r.Format}, err
+		})
+		run("engines", func() (fmt.Stringer, error) {
+			r, err := bench.Engines(*sources, *seed)
 			return formatter{r.Format}, err
 		})
 		run("ablation", func() (fmt.Stringer, error) {

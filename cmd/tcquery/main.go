@@ -28,7 +28,7 @@ func main() {
 		fragFile  = flag.String("frag", "", "fragmentation file (required)")
 		src       = flag.Int("src", -1, "source node (required)")
 		dst       = flag.Int("dst", -1, "target node (required)")
-		engine    = flag.String("engine", "dijkstra", "local engine: dijkstra or seminaive")
+		engine    = flag.String("engine", "dijkstra", "local engine: dijkstra, seminaive or bitset (bitset answers connectivity only)")
 		parallel  = flag.Bool("parallel", false, "run per-site subqueries concurrently")
 		highway   = flag.Int("phe", -1, "use parallel hierarchical evaluation with this highway fragment")
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
@@ -59,14 +59,9 @@ func main() {
 		fatal(err)
 	}
 
-	var eng dsa.Engine
-	switch *engine {
-	case "dijkstra":
-		eng = dsa.EngineDijkstra
-	case "seminaive":
-		eng = dsa.EngineSemiNaive
-	default:
-		fatal(fmt.Errorf("unknown -engine %q (want dijkstra or seminaive)", *engine))
+	eng, err := dsa.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
 	}
 
 	store, err := dsa.Build(fr, dsa.Options{MaxChains: *maxChains})
@@ -78,6 +73,41 @@ func main() {
 		len(store.Sites()), prep.DisconnectionSets, store.LooselyConnected())
 	fmt.Printf("preprocessing: %d global searches, %d complementary facts\n",
 		prep.DijkstraRuns, prep.PairsStored)
+
+	// The bitset engine is connectivity-only: answer the paper's
+	// "Is A connected to B?" query instead of the cost query.
+	if eng == dsa.EngineBitset {
+		if *verbose || *showPath {
+			fmt.Fprintln(os.Stderr, "tcquery: -v and -path are not supported with -engine bitset (connectivity only)")
+		}
+		var connected bool
+		if *highway >= 0 {
+			h, err := phe.New(store, *highway)
+			if err != nil {
+				fatal(err)
+			}
+			connected, err = h.Connected(graph.NodeID(*src), graph.NodeID(*dst), eng)
+			if err != nil {
+				fatal(err)
+			}
+		} else if *parallel {
+			connected, err = store.ConnectedParallel(graph.NodeID(*src), graph.NodeID(*dst), eng)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			connected, err = store.Connected(graph.NodeID(*src), graph.NodeID(*dst), eng)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if connected {
+			fmt.Printf("%d and %d are connected\n", *src, *dst)
+		} else {
+			fmt.Printf("%d and %d are NOT connected\n", *src, *dst)
+		}
+		return
+	}
 
 	var res *dsa.Result
 	switch {

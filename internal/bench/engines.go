@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+// EnginePoint is one row of the local-engine shoot-out: both engines
+// answer the same entry-set-restricted reachability subquery on the
+// same grid graph — the exact shape of a fragment leg.
+type EnginePoint struct {
+	// Width and Height are the grid dimensions.
+	Width, Height int
+	// Nodes and Edges describe the graph.
+	Nodes, Edges int
+	// SemiNaive and Bitset are the measured wall-clock times.
+	SemiNaive, Bitset time.Duration
+	// SemiNaiveStats and BitsetStats report each engine's own work
+	// units (relational derived tuples vs. component bits).
+	SemiNaiveStats, BitsetStats tc.Stats
+	// Agree reports whether the two engines produced identical pair
+	// sets (always checked; a disagreement is a bug).
+	Agree bool
+}
+
+// Speedup is the semi-naive / bitset wall-clock ratio.
+func (p EnginePoint) Speedup() float64 {
+	if p.Bitset <= 0 {
+		return 0
+	}
+	return float64(p.SemiNaive) / float64(p.Bitset)
+}
+
+// EnginesResult is the full engine sweep.
+type EnginesResult struct {
+	Points  []EnginePoint
+	Sources int
+}
+
+// Format renders the sweep as a table.
+func (r *EnginesResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Local closure engines on grid graphs (%d-source restricted reachability)\n", r.Sources)
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "grid\tnodes\tedges\tseminaive\tbitset\tspeedup\titer-sn\titer-bs\tagree")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%dx%d\t%d\t%d\t%v\t%v\t%.1fx\t%d\t%d\t%v\n",
+			p.Width, p.Height, p.Nodes, p.Edges,
+			p.SemiNaive.Round(time.Microsecond), p.Bitset.Round(time.Microsecond),
+			p.Speedup(), p.SemiNaiveStats.Iterations, p.BitsetStats.Iterations, p.Agree)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// Engines measures the per-leg engines against each other on grid
+// graphs of increasing size (the Fig. 8 lattice family): the semi-naive
+// relational fixpoint with the entry set pushed as a selection
+// (tc.ReachableFrom, what dsa.EngineSemiNaive runs per leg) versus the
+// bitset-parallel kernel (tc.BitsetReachableFrom, dsa.EngineBitset).
+// Grids are symmetric, so the whole lattice is one strongly connected
+// component — the regime where the condensation-based kernel collapses
+// diameter-many relational rounds into a handful of bit rows.
+func Engines(sources int, seed int64) (*EnginesResult, error) {
+	if sources <= 0 {
+		sources = 2
+	}
+	res := &EnginesResult{Sources: sources}
+	for _, dim := range [][2]int{{16, 16}, {32, 32}, {64, 64}} {
+		g, err := gen.Grid(gen.GridConfig{Width: dim[0], Height: dim[1], DiagonalProb: 0.1, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.FromGraph(g)
+		nodes := g.Nodes()
+		rng := rand.New(rand.NewSource(seed + int64(dim[0])))
+		srcs := make([]graph.NodeID, sources)
+		for i := range srcs {
+			srcs[i] = nodes[rng.Intn(len(nodes))]
+		}
+
+		t0 := time.Now()
+		snRel, snStats, err := tc.ReachableFrom(rel, srcs)
+		if err != nil {
+			return nil, err
+		}
+		snTook := time.Since(t0)
+
+		t1 := time.Now()
+		bsRel, bsStats, err := tc.BitsetReachableFrom(rel, srcs)
+		if err != nil {
+			return nil, err
+		}
+		bsTook := time.Since(t1)
+
+		res.Points = append(res.Points, EnginePoint{
+			Width: dim[0], Height: dim[1],
+			Nodes: g.NumNodes(), Edges: g.NumEdges(),
+			SemiNaive: snTook, Bitset: bsTook,
+			SemiNaiveStats: snStats, BitsetStats: bsStats,
+			Agree: samePairs(snRel, bsRel),
+		})
+	}
+	return res, nil
+}
+
+// samePairs reports whether two (src, dst) relations hold the same
+// tuple set.
+func samePairs(a, b *relation.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	seen := make(map[string]struct{}, a.Len())
+	for _, t := range a.Tuples() {
+		seen[t.Key()] = struct{}{}
+	}
+	for _, t := range b.Tuples() {
+		if _, ok := seen[t.Key()]; !ok {
+			return false
+		}
+	}
+	return true
+}

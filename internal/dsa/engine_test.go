@@ -1,0 +1,87 @@
+package dsa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineNames(t *testing.T) {
+	for _, e := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset} {
+		got, err := ParseEngine(e.String())
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Errorf("ParseEngine(%q) = %v, want %v", e.String(), got, e)
+		}
+	}
+	if _, err := ParseEngine("warshall"); err == nil {
+		t.Error("unknown engine name accepted")
+	}
+	if Engine(9).String() == "" {
+		t.Error("unknown engine has empty name")
+	}
+}
+
+// TestBitsetEngineRefusesCostQueries: the bitset engine carries
+// presence markers, not costs, so the cost-query entry points must
+// refuse it while Connected accepts it.
+func TestBitsetEngineRefusesCostQueries(t *testing.T) {
+	st, _ := pathStore(t)
+	if _, err := st.Query(0, 8, EngineBitset); err == nil {
+		t.Error("Query accepted the connectivity-only bitset engine")
+	}
+	if _, err := st.QueryParallel(0, 8, EngineBitset); err == nil {
+		t.Error("QueryParallel accepted the connectivity-only bitset engine")
+	}
+	ok, err := st.Connected(0, 8, EngineBitset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Connected(0, 8) = false on the 0-…-8 path store")
+	}
+}
+
+// TestPropertyEnginesAgreeOnConnectivity: on shortest-path stores over
+// random loosely connected fragmentations, all three engines give the
+// same Connected answer, which matches global reachability.
+func TestPropertyEnginesAgreeOnConnectivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, g, err := buildLinearStore(seed, 2+rng.Intn(2), 8+rng.Intn(6), 2+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 4; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			_, want := g.Reachable(src)[dst]
+			if src == dst {
+				want = true // Connected's same-node fast path
+			}
+			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset} {
+				got, err := st.Connected(src, dst, engine)
+				if err != nil {
+					return false
+				}
+				if got != want {
+					return false
+				}
+				gotP, err := st.ConnectedParallel(src, dst, engine)
+				if err != nil {
+					return false
+				}
+				if gotP != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

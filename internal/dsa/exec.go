@@ -24,7 +24,45 @@ const (
 	// with the entry set pushed as a selection; it reports the
 	// iteration counts the paper's workload analysis is phrased in.
 	EngineSemiNaive
+	// EngineBitset runs the entry-set-restricted bitset-parallel
+	// reachability kernel (tc.BitsetReachableFrom) over the augmented
+	// fragment. It is connectivity-only: leg facts carry the presence
+	// marker 1 instead of a path cost (the convention of
+	// ProblemReachability complementary tables), so Connected works on
+	// every store but cost queries refuse it.
+	EngineBitset
 )
+
+// String names the engine the way the CLI flags spell it.
+func (e Engine) String() string {
+	switch e {
+	case EngineDijkstra:
+		return "dijkstra"
+	case EngineSemiNaive:
+		return "seminaive"
+	case EngineBitset:
+		return "bitset"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine resolves a CLI engine name.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "dijkstra":
+		return EngineDijkstra, nil
+	case "seminaive":
+		return EngineSemiNaive, nil
+	case "bitset":
+		return EngineBitset, nil
+	}
+	return 0, fmt.Errorf("dsa: unknown engine %q (want dijkstra, seminaive or bitset)", name)
+}
+
+// validEngine reports whether e is a known engine.
+func validEngine(e Engine) bool {
+	return e == EngineDijkstra || e == EngineSemiNaive || e == EngineBitset
+}
 
 // LegResult is one executed leg: the (entry, exit, cost) facts it
 // produced, as a small relation to be joined in the assembly phase.
@@ -118,6 +156,9 @@ func (st *Store) Query(source, target graph.NodeID, engine Engine) (*Result, err
 	if st.problem != ProblemShortestPath {
 		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
 	}
+	if engine == EngineBitset {
+		return nil, fmt.Errorf("dsa: engine bitset computes connectivity only; use Connected")
+	}
 	return st.run(source, target, engine, false)
 }
 
@@ -129,6 +170,9 @@ func (st *Store) QueryParallel(source, target graph.NodeID, engine Engine) (*Res
 	if st.problem != ProblemShortestPath {
 		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
 	}
+	if engine == EngineBitset {
+		return nil, fmt.Errorf("dsa: engine bitset computes connectivity only; use Connected")
+	}
 	return st.run(source, target, engine, true)
 }
 
@@ -138,6 +182,18 @@ func (st *Store) QueryParallel(source, target graph.NodeID, engine Engine) (*Res
 // information subsumes connectivity).
 func (st *Store) Connected(source, target graph.NodeID, engine Engine) (bool, error) {
 	res, err := st.run(source, target, engine, false)
+	if err != nil {
+		return false, err
+	}
+	return res.Reachable, nil
+}
+
+// ConnectedParallel answers the connectivity query with one goroutine
+// per site, the parallel counterpart of Connected. Like Connected it
+// works on both problem types and accepts every engine, including the
+// connectivity-only EngineBitset.
+func (st *Store) ConnectedParallel(source, target graph.NodeID, engine Engine) (bool, error) {
+	res, err := st.run(source, target, engine, true)
 	if err != nil {
 		return false, err
 	}
@@ -157,7 +213,7 @@ func (st *Store) run(source, target graph.NodeID, engine Engine, parallel bool) 
 // when parallel is set), then assembly. External planners (package phe)
 // pair it with PlanChains.
 func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, error) {
-	if engine != EngineDijkstra && engine != EngineSemiNaive {
+	if !validEngine(engine) {
 		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
 	}
 	start := time.Now()
@@ -293,6 +349,23 @@ func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
 		}
 		for _, t := range filtered.Tuples() {
 			out.MustInsert(t)
+		}
+		stats.ResultTuples = out.Len()
+	case EngineBitset:
+		pairs, s, err := tc.BitsetReachableFrom(site.localRel, leg.Entry)
+		if err != nil {
+			return nil, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
+		}
+		stats = s
+		filtered, err := pairs.SelectIn("dst", relation.NodeSet(leg.Exit))
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range filtered.Tuples() {
+			// Presence marker, not a path cost — assembly sums stay
+			// finite and Reachable is exact; Cost is meaningless and
+			// cost queries refuse this engine.
+			out.MustInsert(relation.Tuple{t[0], t[1], 1.0})
 		}
 		stats.ResultTuples = out.Len()
 	default:

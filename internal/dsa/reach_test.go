@@ -145,7 +145,7 @@ func TestPropertyReachabilityMatchesGlobal(t *testing.T) {
 			src := nodes[rng.Intn(len(nodes))]
 			dst := nodes[rng.Intn(len(nodes))]
 			_, want := g.Reachable(src)[dst]
-			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive} {
+			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset} {
 				got, err := rs.Connected(src, dst, engine)
 				if err != nil {
 					return false

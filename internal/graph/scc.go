@@ -10,7 +10,8 @@ package graph
 // SCC condensation is the classic preprocessing step for transitive
 // closure on cyclic graphs — all members of a component reach exactly
 // the same nodes — and package tc builds its condensation closure on
-// it.
+// it. The bitset kernel (internal/tc/bitset.go) carries a dense-index
+// mirror of this algorithm; a low-link fix here applies there too.
 func (g *Graph) StronglyConnectedComponents() [][]NodeID {
 	nodes := g.Nodes()
 	index := make(map[NodeID]int, len(nodes))

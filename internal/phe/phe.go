@@ -116,6 +116,9 @@ func (h *Hierarchy) Chains(source, target graph.NodeID) ([][]int, error) {
 // Query answers a shortest-path query with hierarchical routing,
 // executing per-site legs in parallel.
 func (h *Hierarchy) Query(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
+	if engine == dsa.EngineBitset {
+		return nil, fmt.Errorf("phe: engine bitset computes connectivity only; use Connected")
+	}
 	chains, err := h.Chains(source, target)
 	if err != nil {
 		return nil, err
@@ -137,6 +140,33 @@ func (h *Hierarchy) Query(source, target graph.NodeID, engine dsa.Engine) (*dsa.
 		res.ChainsConsidered = 0
 		return res, nil
 	}
+	return h.runChains(source, target, chains, engine)
+}
+
+// Connected reports whether target is reachable from source along the
+// hierarchical routes, with any local engine — including the
+// connectivity-only dsa.EngineBitset, whose per-leg facts carry
+// presence markers instead of costs. Like Query, the answer is exact
+// when the highway is the only inter-cluster glue.
+func (h *Hierarchy) Connected(source, target graph.NodeID, engine dsa.Engine) (bool, error) {
+	chains, err := h.Chains(source, target)
+	if err != nil {
+		return false, err
+	}
+	if len(chains) == 0 {
+		return false, nil
+	}
+	res, err := h.runChains(source, target, chains, engine)
+	if err != nil {
+		return false, err
+	}
+	return res.Reachable, nil
+}
+
+// runChains plans the given hierarchical chains and executes them with
+// per-site legs in parallel — the shared back half of Query and
+// Connected.
+func (h *Hierarchy) runChains(source, target graph.NodeID, chains [][]int, engine dsa.Engine) (*dsa.Result, error) {
 	plan, err := h.store.PlanChains(source, target, chains)
 	if err != nil {
 		return nil, err

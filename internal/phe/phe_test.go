@@ -307,3 +307,39 @@ func TestQueryHighwayEndpointChains(t *testing.T) {
 		t.Errorf("cost = %v, global = %v", res.Cost, want)
 	}
 }
+
+// TestConnectedMatchesGlobal: hierarchical Connected agrees with global
+// reachability on star fragmentations, for every engine including the
+// connectivity-only bitset kernel.
+func TestConnectedMatchesGlobal(t *testing.T) {
+	h, g := starStore(t, 11, 3, 10)
+	nodes := g.Nodes()
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 8; q++ {
+		src := nodes[rng.Intn(len(nodes))]
+		dst := nodes[rng.Intn(len(nodes))]
+		_, want := g.Reachable(src)[dst]
+		if src == dst {
+			want = true
+		}
+		for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset} {
+			got, err := h.Connected(src, dst, engine)
+			if err != nil {
+				t.Fatalf("Connected(%d, %d, %v): %v", src, dst, engine, err)
+			}
+			if got != want {
+				t.Errorf("Connected(%d, %d, %v) = %v, want %v", src, dst, engine, got, want)
+			}
+		}
+	}
+}
+
+// TestQueryRefusesBitsetEngine: Query is a cost query and must refuse
+// the connectivity-only engine.
+func TestQueryRefusesBitsetEngine(t *testing.T) {
+	h, g := starStore(t, 13, 3, 8)
+	nodes := g.Nodes()
+	if _, err := h.Query(nodes[0], nodes[len(nodes)-1], dsa.EngineBitset); err == nil {
+		t.Error("Query accepted the connectivity-only bitset engine")
+	}
+}

@@ -16,3 +16,9 @@ func relationFromBase(g *graph.Graph) *relation.Relation {
 func shortestFrom(rel *relation.Relation, source graph.NodeID) (*relation.Relation, tc.Stats, error) {
 	return tc.ShortestFrom(rel, []graph.NodeID{source})
 }
+
+// reachableFromBitset runs the source-restricted bitset reachability
+// kernel.
+func reachableFromBitset(rel *relation.Relation, source graph.NodeID) (*relation.Relation, tc.Stats, error) {
+	return tc.BitsetReachableFrom(rel, []graph.NodeID{source})
+}

@@ -96,7 +96,13 @@ func (c *Cluster) Store() *dsa.Store { return c.store }
 
 // Report is the outcome of one simulated query.
 type Report struct {
-	// Cost, Reachable and BestChain are the query answer.
+	// Cost, Reachable and BestChain are the query answer. Cost is +Inf
+	// when unreachable — and under the connectivity-only
+	// dsa.EngineBitset it is +Inf for every non-trivial query, because
+	// the leg facts carry presence markers rather than path costs (use
+	// Reachable; BestChain is then a chain witnessing connectivity, not
+	// the cheapest one). The source == target fast path still reports
+	// the true cost 0.
 	Cost      float64
 	Reachable bool
 	BestChain []int
@@ -225,6 +231,10 @@ func (c *Cluster) Run(source, target graph.NodeID, engine dsa.Engine) (*Report, 
 	rep.Cost = out.Cost
 	rep.Reachable = out.Reachable
 	rep.BestChain = out.BestChain
+	if engine == dsa.EngineBitset {
+		// Presence-marker sums are not path costs; never report one.
+		rep.Cost = math.Inf(1)
+	}
 
 	// Simulated clock.
 	var sum time.Duration
@@ -267,10 +277,15 @@ func (c *Cluster) CentralizedElapsed(source graph.NodeID, engine dsa.Engine) (ti
 		_ = time.Since(t0)
 		sec := float64(len(dist)+base.NumEdges()) / c.cost.TupleRate
 		return time.Duration(sec * float64(time.Second)), nil
-	case dsa.EngineSemiNaive:
-		// Charge the semi-naive derived-tuple count on the full graph.
-		rel := relationFromBase(base)
-		_, stats, err := shortestFrom(rel, source)
+	case dsa.EngineSemiNaive, dsa.EngineBitset:
+		// Charge the engine's own work units on the full graph: derived
+		// tuples for the semi-naive fixpoint, derived component bits
+		// for the bitset kernel.
+		kernel := shortestFrom
+		if engine == dsa.EngineBitset {
+			kernel = reachableFromBitset
+		}
+		_, stats, err := kernel(relationFromBase(base), source)
 		if err != nil {
 			return 0, err
 		}

@@ -210,7 +210,7 @@ func TestCentralizedElapsed(t *testing.T) {
 		t.Fatal(err)
 	}
 	nodes := g.Nodes()
-	for _, e := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive} {
+	for _, e := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset} {
 		d, err := cl.CentralizedElapsed(nodes[0], e)
 		if err != nil {
 			t.Fatal(err)
@@ -362,5 +362,33 @@ func TestUtilizationReflectsBalance(t *testing.T) {
 	ub, us := util(balanced), util(skewed)
 	if ub <= us {
 		t.Errorf("balanced utilization %v not above skewed %v", ub, us)
+	}
+}
+
+// TestRunBitsetEngineReachability: the simulated pipeline with the
+// connectivity-only bitset engine reports the correct Reachable flag
+// and charges positive busy time on multi-site queries.
+func TestRunBitsetEngineReachability(t *testing.T) {
+	st, g := chainStore(t, 29, 3, 10, 3)
+	cl, err := New(st, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags := st.Fragmentation().Fragments()
+	src := frags[0].Nodes()[0]
+	dst := frags[len(frags)-1].Nodes()[0]
+	rep, err := cl.Run(src, dst, dsa.EngineBitset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := g.Reachable(src)[dst]
+	if rep.Reachable != want {
+		t.Errorf("Reachable = %v, want %v", rep.Reachable, want)
+	}
+	if !math.IsInf(rep.Cost, 1) {
+		t.Errorf("Cost = %v, want +Inf (presence markers are not path costs)", rep.Cost)
+	}
+	if rep.InterSiteMessages != 0 {
+		t.Errorf("inter-site messages = %d, want 0", rep.InterSiteMessages)
 	}
 }
