@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
-		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines (empty = all)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, serving (empty = all)")
 		trials     = flag.Int("trials", 10, "random graphs per table")
 		queries    = flag.Int("queries", 20, "queries per performance point")
 		sources    = flag.Int("sources", 2, "entry-set size for the engines experiment")
@@ -95,6 +95,10 @@ func main() {
 		})
 		run("engines", func() (fmt.Stringer, error) {
 			r, err := bench.Engines(*sources, *seed)
+			return formatter{r.Format}, err
+		})
+		run("serving", func() (fmt.Stringer, error) {
+			r, err := bench.Serving(*queries, *seed)
 			return formatter{r.Format}, err
 		})
 		run("ablation", func() (fmt.Stringer, error) {

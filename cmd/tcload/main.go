@@ -1,0 +1,127 @@
+// Command tcload is the parallel load generator for tcserver: N
+// workers firing random or file-driven source/target queries, with
+// replay passes that double as a cache-correctness oracle. It reports
+// QPS, p50/p95/p99 latency and the server-side leg-cache hit rate, and
+// exits non-zero on any transport error, non-2xx response, answer that
+// changed between passes, unreachable answer under -expect-reachable,
+// or hit rate below -min-hit-rate — the CI smoke gate.
+//
+// Usage:
+//
+//	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8
+//	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -repeat 2 -expect-reachable -min-hit-rate 0.05
+//	tcload -addr http://127.0.0.1:8642 -pairs queries.txt -mode connected -engine bitset
+//
+// The -pairs file holds one "src dst" pair per line; # starts a
+// comment.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8642", "server base URL")
+		n          = flag.Int("n", 200, "requests per pass (random workload)")
+		parallel   = flag.Int("parallel", 8, "concurrent workers")
+		nodes      = flag.Int("nodes", 0, "random src/dst drawn from [0, nodes); 0 = ask the server's /stats")
+		pairsFile  = flag.String("pairs", "", "file with explicit 'src dst' lines (overrides -n/-nodes)")
+		mode       = flag.String("mode", "query", "query (shortest path) or connected (reachability)")
+		engine     = flag.String("engine", "", "per-request engine (empty = server default)")
+		seed       = flag.Int64("seed", 1, "random workload seed")
+		repeat     = flag.Int("repeat", 1, "passes over the same workload (>1 exercises the leg cache)")
+		expectUp   = flag.Bool("expect-reachable", false, "fail on any unreachable answer (oracle for connected graphs)")
+		minHitRate = flag.Float64("min-hit-rate", -1, "fail if the leg-cache hit rate over the run is below this (-1 = no check)")
+	)
+	flag.Parse()
+
+	cfg := server.LoadConfig{
+		BaseURL:         strings.TrimRight(*addr, "/"),
+		Requests:        *n,
+		Parallel:        *parallel,
+		Nodes:           *nodes,
+		Engine:          *engine,
+		Mode:            *mode,
+		Seed:            *seed,
+		Repeat:          *repeat,
+		ExpectReachable: *expectUp,
+	}
+	if *pairsFile != "" {
+		pairs, err := readPairs(*pairsFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Pairs = pairs
+	} else if cfg.Nodes <= 0 {
+		st, err := server.FetchStats(cfg.BaseURL)
+		if err != nil {
+			fatal(fmt.Errorf("discovering node count from /stats: %v", err))
+		}
+		cfg.Nodes = st.Nodes
+	}
+	rep, err := server.RunLoad(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.Format())
+
+	failed := false
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "tcload: FAIL: %d request errors\n", rep.Errors)
+		failed = true
+	}
+	if rep.Mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "tcload: FAIL: %d answer mismatches\n", rep.Mismatches)
+		failed = true
+	}
+	if *minHitRate >= 0 && rep.HitRate < *minHitRate {
+		fmt.Fprintf(os.Stderr, "tcload: FAIL: leg-cache hit rate %.3f below floor %.3f\n", rep.HitRate, *minHitRate)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readPairs parses the explicit workload file.
+func readPairs(path string) ([][2]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pairs [][2]int
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var src, dst int
+		if _, err := fmt.Sscanf(text, "%d %d", &src, &dst); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad pair %q: %v", path, line, text, err)
+		}
+		pairs = append(pairs, [2]int{src, dst})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("%s: no pairs", path)
+	}
+	return pairs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcload:", err)
+	os.Exit(1)
+}

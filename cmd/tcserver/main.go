@@ -1,0 +1,155 @@
+// Command tcserver is the long-lived query-serving daemon: it deploys
+// a disconnection-set store once (graph + fragmentation + complementary
+// information) and then answers shortest-path and reachability queries
+// over HTTP/JSON, with persistent per-site workers and a bounded LRU
+// leg-result cache that memoizes per-site searches across queries.
+//
+// Usage:
+//
+//	tcserver -graph graph.txt -frag frags.txt -listen :8642
+//	tcserver -grid 64x64 -fragments 8 -listen 127.0.0.1:8642
+//	tcserver -grid 32x32 -fragments 4 -engine seminaive -cache 4096
+//
+// Endpoints: /query, /connected, /update, /stats, /healthz (see the
+// README's serving section for schemas).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		graphFile = flag.String("graph", "", "graph file (with -frag; alternative to -grid)")
+		fragFile  = flag.String("frag", "", "fragmentation file (with -graph)")
+		grid      = flag.String("grid", "", "generate a WxH grid graph in-process, e.g. 64x64")
+		frags     = flag.Int("fragments", 8, "fragment count for the generated grid (linear sweep)")
+		diag      = flag.Float64("diag", 0.1, "diagonal shortcut probability for the generated grid")
+		seed      = flag.Int64("seed", 1, "seed for the generated grid")
+		listen    = flag.String("listen", ":8642", "listen address")
+		engine    = flag.String("engine", "dijkstra", "default engine: dijkstra, seminaive or bitset")
+		problem   = flag.String("problem", "shortestpath", "precomputed problem: shortestpath or reachability")
+		cacheCap  = flag.Int("cache", 1024, "leg-result cache capacity in entries (0 disables)")
+		workers   = flag.Int("site-workers", 1, "worker goroutines per site")
+		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
+	)
+	flag.Parse()
+
+	eng, err := dsa.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	prob, err := dsa.ParseProblem(*problem)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := loadFragmentation(*graphFile, *fragFile, *grid, *frags, *diag, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	buildStart := time.Now()
+	store, err := dsa.Build(fr, dsa.Options{MaxChains: *maxChains, Problem: prob})
+	if err != nil {
+		fatal(err)
+	}
+	prep := store.Preprocessing()
+	fmt.Fprintf(os.Stderr, "tcserver: store built in %v: %d sites, %d disconnection sets, %d complementary facts, loosely connected: %v\n",
+		time.Since(buildStart).Round(time.Millisecond), len(store.Sites()),
+		prep.DisconnectionSets, prep.PairsStored, store.LooselyConnected())
+
+	srv, err := server.New(store, server.Config{
+		DefaultEngine: eng,
+		CacheCapacity: *cacheCap,
+		SiteWorkers:   *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tcserver: serving on %s (engine %s, cache %d, %d workers/site)\n",
+		*listen, eng, *cacheCap, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "tcserver: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}
+}
+
+// loadFragmentation builds the deployment input either from files or
+// from an in-process grid generation (the CI smoke path: no
+// intermediate files needed).
+func loadFragmentation(graphFile, fragFile, grid string, frags int, diag float64, seed int64) (*fragment.Fragmentation, error) {
+	switch {
+	case grid != "":
+		var w, h int
+		if _, err := fmt.Sscanf(strings.ToLower(grid), "%dx%d", &w, &h); err != nil {
+			return nil, fmt.Errorf("bad -grid %q (want WxH, e.g. 64x64)", grid)
+		}
+		g, err := gen.Grid(gen.GridConfig{Width: w, Height: h, DiagonalProb: diag, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		res, err := linear.Fragment(g, linear.Options{NumFragments: frags})
+		if err != nil {
+			return nil, err
+		}
+		return res.Fragmentation, nil
+	case graphFile != "" && fragFile != "":
+		gf, err := os.Open(graphFile)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.Read(gf)
+		gf.Close()
+		if err != nil {
+			return nil, err
+		}
+		ff, err := os.Open(fragFile)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := fragment.Read(g, ff)
+		ff.Close()
+		if err != nil {
+			return nil, err
+		}
+		return fr, nil
+	default:
+		return nil, fmt.Errorf("need either -graph and -frag, or -grid")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcserver:", err)
+	os.Exit(1)
+}

@@ -126,8 +126,11 @@ type Result struct {
 	ChainsConsidered int
 	// SameFragment reports the single-site fast path.
 	SameFragment bool
-	// Truncated propagates Plan.Truncated: the chain bound was hit and
-	// Cost is only an upper bound.
+	// Truncated propagates Plan.Truncated: chain enumeration hit the
+	// MaxChains bound, so some fragment chains were never evaluated.
+	// Reachable may then be a false negative and Cost is only an upper
+	// bound on the true shortest-path cost; re-query with a higher
+	// bound (or 0, unlimited) for an exact answer.
 	Truncated bool
 	// PerSite maps site IDs to their work.
 	PerSite map[int]SiteWork
@@ -209,6 +212,68 @@ func (st *Store) run(source, target graph.NodeID, engine Engine, parallel bool) 
 	return st.RunPlan(plan, engine, parallel)
 }
 
+// PlanResult initialises the Result scaffolding every executor shares
+// (RunPlan, QueryPipelined, the serving layer's pooled executor): the
+// echoed query fields plus the source==target and no-chain fast paths.
+// done reports that the result is already complete and phase 1 can be
+// skipped; Elapsed is left to the caller.
+func (st *Store) PlanResult(plan *Plan) (res *Result, done bool) {
+	res = &Result{
+		Source:           plan.Source,
+		Target:           plan.Target,
+		Cost:             math.Inf(1),
+		SameFragment:     plan.SameFragment,
+		Truncated:        plan.Truncated,
+		ChainsConsidered: len(plan.Chains),
+		PerSite:          make(map[int]SiteWork),
+	}
+	if plan.Source == plan.Target {
+		res.Reachable = true
+		res.Cost = 0
+		if fs := st.fr.FragmentsOf(plan.Source); len(fs) > 0 {
+			res.BestChain = []int{fs[0]}
+		}
+		return res, true
+	}
+	if len(plan.Chains) == 0 {
+		return res, true
+	}
+	return res, false
+}
+
+// FinishPlan folds executed leg results into a PlanResult-initialised
+// res: per-site work accounting, the critical path, and the assembly
+// phase. results must be indexed like plan.Legs; Elapsed is left to
+// the caller.
+func (st *Store) FinishPlan(plan *Plan, results []*LegResult, res *Result) error {
+	for i, lr := range results {
+		if lr == nil {
+			return fmt.Errorf("dsa: finish: missing result for leg %d", i)
+		}
+		w := res.PerSite[lr.Leg.SiteID]
+		w.Legs++
+		w.Stats.Add(lr.Stats)
+		w.Elapsed += lr.Took
+		res.PerSite[lr.Leg.SiteID] = w
+		res.MessagesSent++
+		res.TuplesShipped += lr.Rel.Len()
+	}
+	for _, w := range res.PerSite {
+		if w.Elapsed > res.CriticalPath {
+			res.CriticalPath = w.Elapsed
+		}
+	}
+	out, err := st.Assemble(plan, results)
+	if err != nil {
+		return err
+	}
+	res.Reachable = out.Reachable
+	res.Cost = out.Cost
+	res.BestChain = out.BestChain
+	res.Assembly = out.Stats
+	return nil
+}
+
 // RunPlan executes a prepared plan: phase 1 per-site legs (concurrent
 // when parallel is set), then assembly. External planners (package phe)
 // pair it with PlanChains.
@@ -217,26 +282,8 @@ func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, err
 		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
 	}
 	start := time.Now()
-	source, target := plan.Source, plan.Target
-	res := &Result{
-		Source:           source,
-		Target:           target,
-		Cost:             math.Inf(1),
-		SameFragment:     plan.SameFragment,
-		Truncated:        plan.Truncated,
-		ChainsConsidered: len(plan.Chains),
-		PerSite:          make(map[int]SiteWork),
-	}
-	if source == target {
-		res.Reachable = true
-		res.Cost = 0
-		if fs := st.fr.FragmentsOf(source); len(fs) > 0 {
-			res.BestChain = []int{fs[0]}
-		}
-		res.Elapsed = time.Since(start)
-		return res, nil
-	}
-	if len(plan.Chains) == 0 {
+	res, done := st.PlanResult(plan)
+	if done {
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
@@ -282,30 +329,11 @@ func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, err
 			}
 		}
 	}
-	for _, lr := range results {
-		w := res.PerSite[lr.Leg.SiteID]
-		w.Legs++
-		w.Stats.Add(lr.Stats)
-		w.Elapsed += lr.Took
-		res.PerSite[lr.Leg.SiteID] = w
-		res.MessagesSent++
-		res.TuplesShipped += lr.Rel.Len()
-	}
-	for _, w := range res.PerSite {
-		if w.Elapsed > res.CriticalPath {
-			res.CriticalPath = w.Elapsed
-		}
-	}
 
-	// Phase 2: assembly.
-	out, err := st.Assemble(plan, results)
-	if err != nil {
+	// Phase 2: accounting + assembly.
+	if err := st.FinishPlan(plan, results, res); err != nil {
 		return nil, err
 	}
-	res.Reachable = out.Reachable
-	res.Cost = out.Cost
-	res.BestChain = out.BestChain
-	res.Assembly = out.Stats
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -382,6 +410,79 @@ func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
 		}
 	}
 	return &LegResult{Leg: leg, Rel: out, Stats: stats, Took: time.Since(t0)}, nil
+}
+
+// ExecuteLegFull runs a leg engine from an entry set WITHOUT the
+// exit-set selection: every (src, dst, cost) fact derivable from the
+// entry nodes on the site's augmented fragment. This is the memoizable
+// unit of leg execution — the expensive part of a leg depends only on
+// (site, entry set, engine), while the exit set is a cheap selection —
+// so a serving layer can cache the full relation under that key and
+// specialise it per query with FilterLegFacts. For EngineBitset the
+// cost column carries the presence marker 1 (the relation is a
+// connectivity table, matching ExecuteLeg's convention).
+func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine) (*relation.Relation, tc.Stats, error) {
+	if siteID < 0 || siteID >= len(st.sites) {
+		return nil, tc.Stats{}, fmt.Errorf("dsa: leg site %d out of range", siteID)
+	}
+	site := st.sites[siteID]
+	full := relation.New("src", "dst", "cost")
+	var stats tc.Stats
+	switch engine {
+	case EngineDijkstra:
+		for _, a := range entry {
+			dist, _ := site.augmented.ShortestPaths(a)
+			for x, d := range dist {
+				if a != x {
+					full.MustInsert(relation.Tuple{int64(a), int64(x), d})
+				}
+			}
+			stats.DerivedTuples += len(dist)
+		}
+	case EngineSemiNaive:
+		// ShortestFrom already returns a freshly owned (src, dst, cost)
+		// relation; adopt it instead of copying.
+		rel, s, err := tc.ShortestFrom(site.localRel, entry)
+		if err != nil {
+			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
+		}
+		stats = s
+		full = rel
+	case EngineBitset:
+		pairs, s, err := tc.BitsetReachableFrom(site.localRel, entry)
+		if err != nil {
+			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
+		}
+		stats = s
+		for _, t := range pairs.Tuples() {
+			full.MustInsert(relation.Tuple{t[0], t[1], 1.0})
+		}
+	default:
+		return nil, tc.Stats{}, fmt.Errorf("dsa: unknown engine %d", engine)
+	}
+	stats.ResultTuples = full.Len()
+	return full, stats, nil
+}
+
+// FilterLegFacts specialises ExecuteLegFull output to one leg: the
+// exit-set selection plus the zero-cost facts for entry nodes that are
+// themselves exit nodes. ExecuteLegFull followed by FilterLegFacts
+// produces exactly the relation ExecuteLeg computes directly (tuple
+// order aside), so cached full relations and freshly executed legs
+// assemble to identical answers.
+func FilterLegFacts(full *relation.Relation, leg Leg) (*relation.Relation, error) {
+	out, err := full.SelectIn("dst", relation.NodeSet(leg.Exit))
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range leg.Entry {
+		for _, x := range leg.Exit {
+			if a == x {
+				out.MustInsert(relation.Tuple{int64(a), int64(x), 0.0})
+			}
+		}
+	}
+	return out, nil
 }
 
 // Assemble folds executed leg results into the final answer: for each

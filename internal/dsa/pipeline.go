@@ -2,7 +2,6 @@ package dsa
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/graph"
@@ -30,21 +29,8 @@ func (st *Store) QueryPipelined(source, target graph.NodeID) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Source:           source,
-		Target:           target,
-		Cost:             math.Inf(1),
-		SameFragment:     plan.SameFragment,
-		Truncated:        plan.Truncated,
-		ChainsConsidered: len(plan.Chains),
-		PerSite:          make(map[int]SiteWork),
-	}
-	if source == target {
-		res.Reachable = true
-		res.Cost = 0
-		if fs := st.fr.FragmentsOf(source); len(fs) > 0 {
-			res.BestChain = []int{fs[0]}
-		}
+	res, done := st.PlanResult(plan)
+	if done {
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}

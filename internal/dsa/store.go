@@ -114,6 +114,28 @@ const (
 	ProblemReachability
 )
 
+// String names the problem the way the CLI flags spell it.
+func (p Problem) String() string {
+	switch p {
+	case ProblemShortestPath:
+		return "shortestpath"
+	case ProblemReachability:
+		return "reachability"
+	}
+	return fmt.Sprintf("problem(%d)", int(p))
+}
+
+// ParseProblem resolves a CLI problem name.
+func ParseProblem(name string) (Problem, error) {
+	switch name {
+	case "shortestpath":
+		return ProblemShortestPath, nil
+	case "reachability":
+		return ProblemReachability, nil
+	}
+	return 0, fmt.Errorf("dsa: unknown problem %q (want shortestpath or reachability)", name)
+}
+
 // Store is a fragmentation deployed for disconnection-set query
 // processing.
 type Store struct {
@@ -125,6 +147,12 @@ type Store struct {
 	// maxChains bounds chain enumeration for cyclic fragmentation
 	// graphs; 0 means unlimited.
 	maxChains int
+	// epoch counts the updates applied since Build. Every InsertEdge or
+	// DeleteEdge that goes through increments it, so any state derived
+	// from the store (memoized leg results, prepared plans) can be
+	// tagged with the epoch it was computed under and discarded when the
+	// store has moved on.
+	epoch uint64
 }
 
 // Options configures Build.
@@ -244,3 +272,10 @@ func (st *Store) LooselyConnected() bool { return st.fg.IsLooselyConnected() }
 
 // Problem returns the path problem the store was precomputed for.
 func (st *Store) Problem() Problem { return st.problem }
+
+// Epoch returns the store's update generation: 0 at Build, incremented
+// by every successful InsertEdge/DeleteEdge. Derived state (caches,
+// prepared plans) tagged with an older epoch is stale. Epoch is not
+// synchronised; callers interleaving queries and updates must serialise
+// access themselves (package server does, with a read-write lock).
+func (st *Store) Epoch() uint64 { return st.epoch }

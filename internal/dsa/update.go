@@ -114,6 +114,9 @@ func (st *Store) replace(newBase *graph.Graph, sets [][]graph.Edge) (UpdateStats
 		DijkstraRuns:   fresh.prep.DijkstraRuns,
 		LocalOnly:      fresh.prep.DisconnectionSets == 0,
 	}
+	// Advance the update generation so epoch-tagged derived state
+	// (e.g. the serving layer's leg-result cache) self-invalidates.
+	fresh.epoch = st.epoch + 1
 	*st = *fresh
 	return stats, nil
 }

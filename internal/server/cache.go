@@ -1,0 +1,164 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dsa"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+// legKey identifies one memoizable leg computation: the site, the
+// engine and the entry set (sorted by the planner, so the rendering is
+// canonical). The exit set is deliberately absent — it is a cheap
+// selection applied after lookup (dsa.FilterLegFacts), so queries with
+// different targets share cache entries whenever they enter a fragment
+// through the same disconnection set.
+func legKey(siteID int, entry []graph.NodeID, engine dsa.Engine) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|", siteID, engine)
+	for _, n := range entry {
+		fmt.Fprintf(&sb, "%d,", n)
+	}
+	return sb.String()
+}
+
+// CacheStats is a point-in-time snapshot of the leg-result cache.
+type CacheStats struct {
+	// Capacity is the configured entry bound (0 = caching disabled).
+	Capacity int `json:"capacity"`
+	// Entries is the current number of cached leg relations.
+	Entries int `json:"entries"`
+	// Hits and Misses count lookups since the server started.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU bound, Expired those
+	// dropped because their epoch no longer matched the store's.
+	Evictions uint64 `json:"evictions"`
+	Expired   uint64 `json:"expired"`
+	// Purges counts whole-cache invalidations (one per applied update).
+	Purges uint64 `json:"purges"`
+}
+
+// HitRate is hits / (hits + misses), 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheEntry is one memoized leg: the full (unfiltered) fact relation
+// of ExecuteLegFull and its stats, tagged with the store epoch it was
+// computed under. The relation is shared read-only across queries;
+// FilterLegFacts copies tuples, never mutates.
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	rel   *relation.Relation
+	stats tc.Stats
+}
+
+// legCache is a bounded, epoch-aware LRU over leg computations. It is
+// safe for concurrent use.
+type legCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+	stats CacheStats
+}
+
+func newLegCache(capacity int) *legCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &legCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+		stats: CacheStats{Capacity: capacity},
+	}
+}
+
+// get returns the memoized relation for key if present and computed
+// under the given epoch. Entries from older epochs are dropped on
+// sight — the store has been updated since they were computed.
+func (c *legCache) get(key string, epoch uint64) (*relation.Relation, tc.Stats, bool) {
+	if c == nil || c.cap == 0 {
+		return nil, tc.Stats{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, tc.Stats{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+		c.stats.Expired++
+		c.stats.Misses++
+		return nil, tc.Stats{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return ent.rel, ent.stats, true
+}
+
+// put memoizes a leg computation, evicting the least recently used
+// entry when the bound is exceeded.
+func (c *legCache) put(key string, epoch uint64, rel *relation.Relation, stats tc.Stats) {
+	if c == nil || c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Concurrent queries can race to fill the same key; keep the
+		// newest epoch and refresh recency.
+		el.Value = &cacheEntry{key: key, epoch: epoch, rel: rel, stats: stats}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, rel: rel, stats: stats})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// purge drops every entry; called after each applied update. The epoch
+// tags make purging a memory-reclamation measure rather than a
+// correctness requirement.
+func (c *legCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element)
+	c.stats.Purges++
+}
+
+// snapshot returns the current counters.
+func (c *legCache) snapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

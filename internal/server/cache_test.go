@@ -1,0 +1,119 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+func rel(n int) *relation.Relation {
+	r := relation.New("src", "dst", "cost")
+	r.MustInsert(relation.Tuple{int64(n), int64(n + 1), 1.0})
+	return r
+}
+
+func TestLegCacheLRUEviction(t *testing.T) {
+	c := newLegCache(2)
+	c.put("a", 0, rel(1), tc.Stats{})
+	c.put("b", 0, rel(2), tc.Stats{})
+	// Touch a so b is the least recently used.
+	if _, _, ok := c.get("a", 0); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", 0, rel(3), tc.Stats{})
+	if _, _, ok := c.get("b", 0); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, _, ok := c.get("a", 0); !ok {
+		t.Error("a should have survived")
+	}
+	if _, _, ok := c.get("c", 0); !ok {
+		t.Error("c should be present")
+	}
+	s := c.snapshot()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+func TestLegCacheEpochMismatch(t *testing.T) {
+	c := newLegCache(4)
+	c.put("k", 1, rel(1), tc.Stats{})
+	if _, _, ok := c.get("k", 2); ok {
+		t.Fatal("stale-epoch entry served")
+	}
+	s := c.snapshot()
+	if s.Expired != 1 {
+		t.Errorf("expired = %d, want 1", s.Expired)
+	}
+	if s.Entries != 0 {
+		t.Errorf("entries = %d, want 0 (stale entry dropped)", s.Entries)
+	}
+	// Refill under the new epoch works.
+	c.put("k", 2, rel(1), tc.Stats{})
+	if _, _, ok := c.get("k", 2); !ok {
+		t.Error("fresh entry missing")
+	}
+}
+
+func TestLegCachePurge(t *testing.T) {
+	c := newLegCache(4)
+	c.put("a", 0, rel(1), tc.Stats{})
+	c.put("b", 0, rel(2), tc.Stats{})
+	c.purge()
+	if _, _, ok := c.get("a", 0); ok {
+		t.Error("a survived purge")
+	}
+	s := c.snapshot()
+	if s.Purges != 1 || s.Entries != 0 {
+		t.Errorf("purges = %d entries = %d, want 1 and 0", s.Purges, s.Entries)
+	}
+}
+
+func TestLegCacheDisabled(t *testing.T) {
+	c := newLegCache(0)
+	c.put("a", 0, rel(1), tc.Stats{})
+	if _, _, ok := c.get("a", 0); ok {
+		t.Error("capacity-0 cache stored an entry")
+	}
+	s := c.snapshot()
+	if s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("disabled cache counted lookups: %+v", s)
+	}
+}
+
+func TestLegCacheHitRate(t *testing.T) {
+	s := CacheStats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", got)
+	}
+	if got := (CacheStats{}).HitRate(); got != 0 {
+		t.Errorf("empty hit rate = %v, want 0", got)
+	}
+}
+
+func TestLegKeyIgnoresExit(t *testing.T) {
+	a := legKey(3, []graph.NodeID{1, 2}, 0)
+	b := legKey(3, []graph.NodeID{1, 2}, 0)
+	if a != b {
+		t.Errorf("same leg keys differ: %q vs %q", a, b)
+	}
+	if legKey(3, []graph.NodeID{1, 2}, 0) == legKey(3, []graph.NodeID{1, 2}, 1) {
+		t.Error("engines share a key")
+	}
+	if legKey(3, []graph.NodeID{1, 2}, 0) == legKey(4, []graph.NodeID{1, 2}, 0) {
+		t.Error("sites share a key")
+	}
+	if legKey(3, []graph.NodeID{1, 2}, 0) == legKey(3, []graph.NodeID{1, 22}, 0) {
+		t.Error("entry sets share a key")
+	}
+	// The separator must keep (12) and (1,2) apart.
+	if legKey(3, []graph.NodeID{12}, 0) == legKey(3, []graph.NodeID{1, 2}, 0) {
+		t.Error("ambiguous entry-set rendering")
+	}
+}

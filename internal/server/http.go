@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/graph"
+)
+
+// QueryResponse is the JSON answer of /query.
+type QueryResponse struct {
+	Source    int  `json:"source"`
+	Target    int  `json:"target"`
+	Reachable bool `json:"reachable"`
+	// Cost is the shortest-path cost; absent when unreachable (the
+	// library's +Inf does not survive JSON).
+	Cost             *float64 `json:"cost,omitempty"`
+	BestChain        []int    `json:"best_chain,omitempty"`
+	ChainsConsidered int      `json:"chains_considered"`
+	SameFragment     bool     `json:"same_fragment"`
+	Truncated        bool     `json:"truncated"`
+	Engine           string   `json:"engine"`
+	Mode             string   `json:"mode"`
+	ElapsedUS        int64    `json:"elapsed_us"`
+	CacheHits        int      `json:"cache_hits"`
+	CacheMisses      int      `json:"cache_misses"`
+	TuplesShipped    int      `json:"tuples_shipped"`
+}
+
+// ConnectedResponse is the JSON answer of /connected.
+type ConnectedResponse struct {
+	Source      int    `json:"source"`
+	Target      int    `json:"target"`
+	Connected   bool   `json:"connected"`
+	Engine      string `json:"engine"`
+	ElapsedUS   int64  `json:"elapsed_us"`
+	CacheHits   int    `json:"cache_hits"`
+	CacheMisses int    `json:"cache_misses"`
+}
+
+// UpdateRequest is the JSON body of /update. Weight defaults to 1 on
+// insert; on delete the (from, to, weight) triple must match a stored
+// fragment edge exactly.
+type UpdateRequest struct {
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Fragment is the fragment whose edge set changes.
+	Fragment int     `json:"fragment"`
+	From     int     `json:"from"`
+	To       int     `json:"to"`
+	Weight   float64 `json:"weight"`
+}
+
+// UpdateResponse is the JSON answer of /update.
+type UpdateResponse struct {
+	Op             string `json:"op"`
+	Epoch          uint64 `json:"epoch"`
+	RecomputedSets int    `json:"recomputed_sets"`
+	DijkstraRuns   int    `json:"dijkstra_runs"`
+	LocalOnly      bool   `json:"local_only"`
+	ElapsedUS      int64  `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API: /query, /connected, /update, /stats
+// and /healthz, all JSON. Engine selection is per-request via
+// ?engine=dijkstra|seminaive|bitset (default: the server's configured
+// engine); /query additionally accepts ?mode=pooled|pipelined.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /connected", s.handleConnected)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// parsePair extracts the src and dst query parameters.
+func parsePair(r *http.Request) (graph.NodeID, graph.NodeID, error) {
+	src, err := strconv.Atoi(r.URL.Query().Get("src"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad or missing src: %v", err)
+	}
+	dst, err := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad or missing dst: %v", err)
+	}
+	return graph.NodeID(src), graph.NodeID(dst), nil
+}
+
+// parseEngine resolves the optional engine parameter against the
+// server default.
+func (s *Server) parseEngine(r *http.Request) (dsa.Engine, error) {
+	name := r.URL.Query().Get("engine")
+	if name == "" {
+		return s.cfg.DefaultEngine, nil
+	}
+	return dsa.ParseEngine(name)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, dst, err := parsePair(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine, err := s.parseEngine(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "pooled"
+	}
+	var (
+		res *dsa.Result
+		qs  QueryStats
+	)
+	switch mode {
+	case "pooled":
+		res, qs, err = s.Query(src, dst, engine)
+	case "pipelined":
+		// Pipelined evaluation has exactly one engine (the vector-seeded
+		// multi-source Dijkstra), so an explicit engine selection would
+		// be silently ignored — refuse it instead.
+		if r.URL.Query().Get("engine") != "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("mode=pipelined does not take an engine (it always runs multi-source dijkstra)"))
+			return
+		}
+		engine = dsa.EngineDijkstra
+		res, err = s.QueryPipelined(src, dst)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want pooled or pipelined)", mode))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := QueryResponse{
+		Source:           int(res.Source),
+		Target:           int(res.Target),
+		Reachable:        res.Reachable,
+		BestChain:        res.BestChain,
+		ChainsConsidered: res.ChainsConsidered,
+		SameFragment:     res.SameFragment,
+		Truncated:        res.Truncated,
+		Engine:           engine.String(),
+		Mode:             mode,
+		ElapsedUS:        res.Elapsed.Microseconds(),
+		CacheHits:        qs.CacheHits,
+		CacheMisses:      qs.CacheMisses,
+		TuplesShipped:    res.TuplesShipped,
+	}
+	if res.Reachable {
+		cost := res.Cost
+		resp.Cost = &cost
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	src, dst, err := parsePair(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine, err := s.parseEngine(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	connected, qs, err := s.Connected(src, dst, engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConnectedResponse{
+		Source:      int(src),
+		Target:      int(dst),
+		Connected:   connected,
+		Engine:      engine.String(),
+		ElapsedUS:   time.Since(start).Microseconds(),
+		CacheHits:   qs.CacheHits,
+		CacheMisses: qs.CacheMisses,
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %v", err))
+		return
+	}
+	e := graph.Edge{From: graph.NodeID(req.From), To: graph.NodeID(req.To), Weight: req.Weight}
+	start := time.Now()
+	var (
+		stats dsa.UpdateStats
+		err   error
+	)
+	switch req.Op {
+	case "insert":
+		if e.Weight == 0 {
+			e.Weight = 1
+		}
+		stats, err = s.InsertEdge(req.Fragment, e)
+	case "delete":
+		stats, err = s.DeleteEdge(req.Fragment, e)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q (want insert or delete)", req.Op))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	epoch := s.st.Epoch()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Op:             req.Op,
+		Epoch:          epoch,
+		RecomputedSets: stats.RecomputedSets,
+		DijkstraRuns:   stats.DijkstraRuns,
+		LocalOnly:      stats.LocalOnly,
+		ElapsedUS:      time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

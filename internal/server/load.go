@@ -1,0 +1,331 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterises one load-generation run against a running
+// tcserver — the repository's counterpart of a parallel benchmark
+// query driver: N workers firing source/target queries, random or
+// file-driven, with optional replay passes to exercise the leg cache.
+type LoadConfig struct {
+	// BaseURL locates the server, e.g. "http://127.0.0.1:8642".
+	BaseURL string
+	// Requests is the number of queries per pass (ignored when Pairs is
+	// set: then every pair is fired once per pass).
+	Requests int
+	// Parallel is the worker count.
+	Parallel int
+	// Nodes bounds the random workload: src and dst are drawn uniformly
+	// from [0, Nodes). Required unless Pairs is given.
+	Nodes int
+	// Pairs is an explicit (src, dst) workload; overrides Nodes and
+	// Requests.
+	Pairs [][2]int
+	// Engine selects the per-request engine ("" = server default).
+	Engine string
+	// Mode is "query" (shortest path) or "connected" (reachability).
+	Mode string
+	// Seed drives the random workload.
+	Seed int64
+	// Repeat is the number of passes over the same workload (≥ 1).
+	// Passes after the first replay identical queries, so their answers
+	// must match pass one exactly — the cache-correctness oracle — and
+	// the leg cache should start hitting.
+	Repeat int
+	// ExpectReachable asserts every answer is reachable/connected —
+	// the oracle for workloads on connected graphs (grids), where an
+	// unreachable answer can only be a server bug.
+	ExpectReachable bool
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	// Requests is the total number of requests fired across all passes.
+	Requests int
+	// Errors counts transport failures and non-2xx responses.
+	Errors int
+	// Mismatches counts replay answers that differ from the first pass
+	// plus (with ExpectReachable) unreachable answers.
+	Mismatches int
+	// Unreachable counts answers with reachable/connected = false.
+	Unreachable int
+	// FirstIssue describes the first error or mismatch, for diagnosis.
+	FirstIssue string
+	// Elapsed is the wall-clock time of all passes, QPS the overall
+	// request throughput.
+	Elapsed time.Duration
+	QPS     float64
+	// Latency percentiles across all requests.
+	P50, P95, P99, Max time.Duration
+	// PassQPS is the throughput of each pass — the cache warm-up curve.
+	PassQPS []float64
+	// CacheHits/CacheMisses are the server-side leg-cache deltas over
+	// the run, HitRate their ratio (0 when no lookups).
+	CacheHits, CacheMisses uint64
+	HitRate                float64
+}
+
+// Format renders the report as a human-readable block.
+func (r *LoadReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests: %d  errors: %d  mismatches: %d  unreachable: %d\n",
+		r.Requests, r.Errors, r.Mismatches, r.Unreachable)
+	fmt.Fprintf(&sb, "elapsed: %v  QPS: %.1f", r.Elapsed.Round(time.Millisecond), r.QPS)
+	if len(r.PassQPS) > 1 {
+		fmt.Fprintf(&sb, "  per-pass:")
+		for _, q := range r.PassQPS {
+			fmt.Fprintf(&sb, " %.1f", q)
+		}
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "latency p50: %v  p95: %v  p99: %v  max: %v\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "leg cache: %d hits, %d misses, hit rate %.1f%%\n",
+		r.CacheHits, r.CacheMisses, 100*r.HitRate)
+	if r.FirstIssue != "" {
+		fmt.Fprintf(&sb, "first issue: %s\n", r.FirstIssue)
+	}
+	return sb.String()
+}
+
+// answer is the part of a response the replay oracle compares.
+type answer struct {
+	reachable bool
+	cost      float64
+	hasCost   bool
+}
+
+// RunLoad fires the configured workload and reports throughput,
+// latency percentiles, correctness counters and the server's cache
+// delta.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("server: load: BaseURL required")
+	}
+	if cfg.Parallel < 1 {
+		cfg.Parallel = 1
+	}
+	if cfg.Repeat < 1 {
+		cfg.Repeat = 1
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = "query"
+	}
+	if cfg.Mode != "query" && cfg.Mode != "connected" {
+		return nil, fmt.Errorf("server: load: unknown mode %q (want query or connected)", cfg.Mode)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	pairs := cfg.Pairs
+	if len(pairs) == 0 {
+		if cfg.Nodes <= 0 {
+			return nil, fmt.Errorf("server: load: need Nodes > 0 or explicit Pairs")
+		}
+		if cfg.Requests <= 0 {
+			return nil, fmt.Errorf("server: load: need Requests > 0")
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		pairs = make([][2]int, cfg.Requests)
+		for i := range pairs {
+			pairs[i] = [2]int{rng.Intn(cfg.Nodes), rng.Intn(cfg.Nodes)}
+		}
+	}
+
+	client := &http.Client{Timeout: cfg.Timeout}
+	statsBefore, err := fetchStats(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("server: load: /stats before run: %v", err)
+	}
+
+	rep := &LoadReport{}
+	baseline := make([]answer, len(pairs))
+	latencies := make([]time.Duration, 0, len(pairs)*cfg.Repeat)
+	var (
+		mu         sync.Mutex // guards latencies and FirstIssue
+		errorsN    atomic.Int64
+		mismatches atomic.Int64
+		unreach    atomic.Int64
+	)
+	issue := func(format string, args ...any) {
+		mu.Lock()
+		if rep.FirstIssue == "" {
+			rep.FirstIssue = fmt.Sprintf(format, args...)
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	for pass := 0; pass < cfg.Repeat; pass++ {
+		passStart := time.Now()
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make([]time.Duration, 0, len(pairs)/cfg.Parallel+1)
+				for i := range idx {
+					p := pairs[i]
+					t0 := time.Now()
+					ans, err := fire(client, cfg, p[0], p[1])
+					local = append(local, time.Since(t0))
+					if err != nil {
+						errorsN.Add(1)
+						issue("query %d->%d: %v", p[0], p[1], err)
+						continue
+					}
+					if !ans.reachable {
+						unreach.Add(1)
+						if cfg.ExpectReachable {
+							mismatches.Add(1)
+							issue("query %d->%d: unreachable, oracle expects reachable", p[0], p[1])
+						}
+					}
+					if pass == 0 {
+						baseline[i] = ans
+					} else if b := baseline[i]; b.reachable != ans.reachable ||
+						(b.hasCost && ans.hasCost && math.Abs(b.cost-ans.cost) > 1e-9) {
+						mismatches.Add(1)
+						issue("query %d->%d: pass %d answered (reachable=%v cost=%v), pass 1 (reachable=%v cost=%v)",
+							p[0], p[1], pass+1, ans.reachable, ans.cost, b.reachable, b.cost)
+					}
+				}
+				mu.Lock()
+				latencies = append(latencies, local...)
+				mu.Unlock()
+			}()
+		}
+		for i := range pairs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		rep.PassQPS = append(rep.PassQPS, float64(len(pairs))/time.Since(passStart).Seconds())
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Requests = len(pairs) * cfg.Repeat
+	rep.Errors = int(errorsN.Load())
+	rep.Mismatches = int(mismatches.Load())
+	rep.Unreachable = int(unreach.Load())
+	if rep.Elapsed > 0 {
+		rep.QPS = float64(rep.Requests) / rep.Elapsed.Seconds()
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = percentile(latencies, 0.50)
+	rep.P95 = percentile(latencies, 0.95)
+	rep.P99 = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.Max = latencies[n-1]
+	}
+
+	statsAfter, err := fetchStats(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("server: load: /stats after run: %v", err)
+	}
+	rep.CacheHits = statsAfter.Cache.Hits - statsBefore.Cache.Hits
+	rep.CacheMisses = statsAfter.Cache.Misses - statsBefore.Cache.Misses
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(total)
+	}
+	return rep, nil
+}
+
+// fire sends one query and extracts the comparable answer.
+func fire(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
+	q := url.Values{}
+	q.Set("src", fmt.Sprint(src))
+	q.Set("dst", fmt.Sprint(dst))
+	if cfg.Engine != "" {
+		q.Set("engine", cfg.Engine)
+	}
+	endpoint := "/query"
+	if cfg.Mode == "connected" {
+		endpoint = "/connected"
+	}
+	resp, err := client.Get(cfg.BaseURL + endpoint + "?" + q.Encode())
+	if err != nil {
+		return answer{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return answer{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return answer{}, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if cfg.Mode == "connected" {
+		var cr ConnectedResponse
+		if err := json.Unmarshal(body, &cr); err != nil {
+			return answer{}, fmt.Errorf("bad /connected body: %v", err)
+		}
+		return answer{reachable: cr.Connected}, nil
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		return answer{}, fmt.Errorf("bad /query body: %v", err)
+	}
+	a := answer{reachable: qr.Reachable}
+	if qr.Cost != nil {
+		a.cost = *qr.Cost
+		a.hasCost = true
+	}
+	return a, nil
+}
+
+// FetchStats pulls and decodes a running server's /stats — load
+// drivers use it to discover the node count and to difference cache
+// counters around a run.
+func FetchStats(baseURL string) (*Stats, error) {
+	return fetchStats(&http.Client{Timeout: 30 * time.Second}, baseURL)
+}
+
+// fetchStats pulls and decodes /stats.
+func fetchStats(client *http.Client, baseURL string) (*Stats, error) {
+	resp, err := client.Get(baseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// percentile reads the p-quantile from ascending latencies (nearest
+// rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,57 @@
+package server
+
+import "sync"
+
+// sitePools realises the paper's persistent processors: one worker
+// group per site, alive for the lifetime of the server, consuming leg
+// tasks from a per-site queue. Concurrent queries interleave their legs
+// on the owning site's workers — a site is busy the way the paper's
+// fragment processors are busy — while distinct sites always run in
+// parallel. With one worker per site (the default) each site serialises
+// its legs exactly like a single-processor site would.
+type sitePools struct {
+	queues []chan func()
+	wg     sync.WaitGroup
+}
+
+// newSitePools starts workers-per-site goroutines for each of numSites
+// queues.
+func newSitePools(numSites, workersPerSite int) *sitePools {
+	if workersPerSite < 1 {
+		workersPerSite = 1
+	}
+	p := &sitePools{queues: make([]chan func(), numSites)}
+	for i := range p.queues {
+		// A small buffer decouples query fan-out from worker pace; a
+		// full queue back-pressures submitters instead of growing
+		// unboundedly.
+		q := make(chan func(), 64)
+		p.queues[i] = q
+		for w := 0; w < workersPerSite; w++ {
+			p.wg.Add(1)
+			go func(q chan func()) {
+				defer p.wg.Done()
+				for task := range q {
+					task()
+				}
+			}(q)
+		}
+	}
+	return p
+}
+
+// submit enqueues one leg task on the site's queue, blocking when the
+// queue is full. The task signals its own completion (the callers use a
+// WaitGroup); submit only guarantees eventual execution.
+func (p *sitePools) submit(site int, task func()) {
+	p.queues[site] <- task
+}
+
+// close drains and stops all workers. Callers must not submit after
+// close.
+func (p *sitePools) close() {
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.wg.Wait()
+}

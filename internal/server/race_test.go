@@ -1,0 +1,108 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/graph"
+)
+
+// TestConcurrentQueriesAndUpdates is the race-detector stress test for
+// the serving layer: pooled cost queries, connectivity queries on every
+// engine, pipelined queries and edge inserts/deletes all interleave on
+// one server. It guards the epoch-tagged cache invalidation and the
+// read-write locking around the in-place store rebuild — run with
+// -race (CI always does).
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	srv, st := newGridServer(t, 6, 6, 3, Config{CacheCapacity: 128, SiteWorkers: 2})
+	nodes := st.Fragmentation().Base().NumNodes()
+	const iters = 25
+	var wg sync.WaitGroup
+
+	// Two pooled cost-query workers (dijkstra and seminaive).
+	for w, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive} {
+		wg.Add(1)
+		go func(w int, engine dsa.Engine) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				src := graph.NodeID(rng.Intn(nodes))
+				dst := graph.NodeID(rng.Intn(nodes))
+				if _, _, err := srv.Query(src, dst, engine); err != nil {
+					t.Errorf("query worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w, engine)
+	}
+
+	// A connectivity worker on the bitset engine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < iters; i++ {
+			src := graph.NodeID(rng.Intn(nodes))
+			dst := graph.NodeID(rng.Intn(nodes))
+			got, _, err := srv.Connected(src, dst, dsa.EngineBitset)
+			if err != nil {
+				t.Errorf("connected worker: %v", err)
+				return
+			}
+			// The grid stays connected through every update below.
+			if !got {
+				t.Errorf("connected(%d, %d) = false on a connected grid", src, dst)
+				return
+			}
+		}
+	}()
+
+	// A pipelined-query worker (the uncached library path, same lock).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < iters; i++ {
+			src := graph.NodeID(rng.Intn(nodes))
+			dst := graph.NodeID(rng.Intn(nodes))
+			if _, err := srv.QueryPipelined(src, dst); err != nil {
+				t.Errorf("pipelined worker: %v", err)
+				return
+			}
+		}
+	}()
+
+	// An updater inserting and deleting the same shortcut, forcing
+	// epoch bumps and cache purges while queries are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e := graph.Edge{From: 0, To: 14, Weight: 0.5}
+		for i := 0; i < 6; i++ {
+			if _, err := srv.InsertEdge(0, e); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+			if _, err := srv.DeleteEdge(0, e); err != nil {
+				t.Errorf("delete %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The server must still answer correctly after the storm.
+	res, _, err := srv.Query(0, graph.NodeID(nodes-1), dsa.EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Error("grid corners unreachable after stress")
+	}
+	if st := srv.Stats(); st.Updates != 12 {
+		t.Errorf("updates = %d, want 12", st.Updates)
+	}
+}

@@ -1,0 +1,310 @@
+// Package server is the long-lived query-serving layer over a
+// dsa.Store: persistent per-site worker pools (the paper's processors,
+// kept alive across queries), a bounded LRU leg-result cache that
+// memoizes the expensive half of leg execution across queries, and an
+// HTTP/JSON API. It turns the one-shot library pipeline into the
+// serving system the ROADMAP's "heavy traffic" north star asks for:
+// many concurrent queries interleave their per-site legs exactly the
+// way the paper's sites would interleave independent subqueries.
+//
+// Concurrency model: queries hold a read lock for their whole
+// plan-execute-assemble span; updates (InsertEdge/DeleteEdge) hold the
+// write lock, so they serialise against in-flight queries, then bump
+// the store epoch and purge the cache. Cache entries are epoch-tagged,
+// making staleness impossible even if a purge were missed.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/graph"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// DefaultEngine answers requests that do not select an engine.
+	DefaultEngine dsa.Engine
+	// CacheCapacity bounds the leg-result cache in entries; 0 disables
+	// memoization.
+	CacheCapacity int
+	// SiteWorkers is the number of worker goroutines per site (default
+	// 1: each site serialises its legs like a single-processor site).
+	SiteWorkers int
+}
+
+// Server is a live deployment: a store, its worker pools and the
+// leg-result cache.
+type Server struct {
+	// mu guards st: queries and stats take the read side, updates the
+	// write side (dsa updates rebuild the store in place).
+	mu    sync.RWMutex
+	st    *dsa.Store
+	cache *legCache
+	pools *sitePools
+	cfg   Config
+	start time.Time
+
+	queries    atomic.Uint64
+	connected  atomic.Uint64
+	pipelined  atomic.Uint64
+	updates    atomic.Uint64
+	errors     atomic.Uint64
+	siteLegs   []atomic.Uint64
+	siteBusyNS []atomic.Int64
+}
+
+// New deploys a server over a built store.
+func New(st *dsa.Store, cfg Config) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("server: nil store")
+	}
+	if !knownEngine(cfg.DefaultEngine) {
+		return nil, fmt.Errorf("server: unknown default engine %d", int(cfg.DefaultEngine))
+	}
+	if cfg.SiteWorkers < 1 {
+		cfg.SiteWorkers = 1
+	}
+	n := len(st.Sites())
+	return &Server{
+		st:         st,
+		cache:      newLegCache(cfg.CacheCapacity),
+		pools:      newSitePools(n, cfg.SiteWorkers),
+		cfg:        cfg,
+		start:      time.Now(),
+		siteLegs:   make([]atomic.Uint64, n),
+		siteBusyNS: make([]atomic.Int64, n),
+	}, nil
+}
+
+// Close stops the worker pools. The server must not be used afterwards.
+func (s *Server) Close() { s.pools.close() }
+
+// DefaultEngine returns the engine used when a request names none.
+func (s *Server) DefaultEngine() dsa.Engine { return s.cfg.DefaultEngine }
+
+func knownEngine(e dsa.Engine) bool {
+	switch e {
+	case dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset:
+		return true
+	}
+	return false
+}
+
+// QueryStats reports the cache behaviour of one query.
+type QueryStats struct {
+	// CacheHits and CacheMisses count this query's leg lookups.
+	CacheHits, CacheMisses int
+}
+
+// Query answers a shortest-path query through the pools and the cache.
+// It mirrors dsa.Store.Query's refusals: reachability stores and the
+// connectivity-only bitset engine cannot answer cost queries.
+func (s *Server) Query(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, QueryStats, error) {
+	res, qs, err := s.run(source, target, engine, true)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, qs, err
+	}
+	s.queries.Add(1)
+	return res, qs, nil
+}
+
+// Connected answers the reachability query through the pools and the
+// cache; it accepts every engine on every store, like dsa.Connected.
+func (s *Server) Connected(source, target graph.NodeID, engine dsa.Engine) (bool, QueryStats, error) {
+	res, qs, err := s.run(source, target, engine, false)
+	if err != nil {
+		s.errors.Add(1)
+		return false, qs, err
+	}
+	s.connected.Add(1)
+	return res.Reachable, qs, nil
+}
+
+// QueryPipelined passes a pipelined-evaluation query through the
+// serving layer's locking (no leg cache: pipelined legs are seeded
+// with the running cost vector, so they are query-specific).
+func (s *Server) QueryPipelined(source, target graph.NodeID) (*dsa.Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res, err := s.st.QueryPipelined(source, target)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.pipelined.Add(1)
+	return res, nil
+}
+
+// run is the pooled, cache-aware counterpart of dsa.Store.RunPlan.
+// costQuery marks shortest-path queries, which reachability stores and
+// the connectivity-only bitset engine refuse (mirroring dsa.Query).
+func (s *Server) run(source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
+	if !knownEngine(engine) {
+		return nil, QueryStats{}, fmt.Errorf("server: unknown engine %d", int(engine))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if costQuery {
+		if s.st.Problem() != dsa.ProblemShortestPath {
+			return nil, QueryStats{}, fmt.Errorf("server: store precomputed for reachability cannot answer cost queries")
+		}
+		if engine == dsa.EngineBitset {
+			return nil, QueryStats{}, fmt.Errorf("server: engine bitset computes connectivity only; use Connected")
+		}
+	}
+	start := time.Now()
+	plan, err := s.st.NewPlan(source, target)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	res, done := s.st.PlanResult(plan)
+	if done {
+		res.Elapsed = time.Since(start)
+		return res, QueryStats{}, nil
+	}
+
+	// Phase 1: every leg becomes one task on its site's persistent
+	// worker queue; the cache intercepts the (site, entry, engine)
+	// computation and the exit selection specialises it per leg.
+	epoch := s.st.Epoch()
+	results := make([]*dsa.LegResult, len(plan.Legs))
+	errs := make([]error, len(plan.Legs))
+	var hits, misses atomic.Int64
+	var wg sync.WaitGroup
+	for i := range plan.Legs {
+		leg := plan.Legs[i]
+		wg.Add(1)
+		s.pools.submit(leg.SiteID, func() {
+			defer wg.Done()
+			t0 := time.Now()
+			key := legKey(leg.SiteID, leg.Entry, engine)
+			full, stats, ok := s.cache.get(key, epoch)
+			if ok {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+				var execErr error
+				full, stats, execErr = s.st.ExecuteLegFull(leg.SiteID, leg.Entry, engine)
+				if execErr != nil {
+					errs[i] = execErr
+					return
+				}
+				s.cache.put(key, epoch, full, stats)
+			}
+			filtered, filterErr := dsa.FilterLegFacts(full, leg)
+			if filterErr != nil {
+				errs[i] = filterErr
+				return
+			}
+			stats.ResultTuples = filtered.Len()
+			took := time.Since(t0)
+			results[i] = &dsa.LegResult{Leg: leg, Rel: filtered, Stats: stats, Took: took}
+			s.siteLegs[leg.SiteID].Add(1)
+			s.siteBusyNS[leg.SiteID].Add(int64(took))
+		})
+	}
+	wg.Wait()
+	qs := QueryStats{CacheHits: int(hits.Load()), CacheMisses: int(misses.Load())}
+	for _, err := range errs {
+		if err != nil {
+			return nil, qs, err
+		}
+	}
+
+	// Phase 2: accounting + assembly, the same epilogue as the library
+	// path.
+	if err := s.st.FinishPlan(plan, results, res); err != nil {
+		return nil, qs, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, qs, nil
+}
+
+// InsertEdge applies an edge insertion under the write lock, advancing
+// the store epoch and purging the leg cache.
+func (s *Server) InsertEdge(fragID int, e graph.Edge) (dsa.UpdateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats, err := s.st.InsertEdge(fragID, e)
+	if err != nil {
+		s.errors.Add(1)
+		return stats, err
+	}
+	s.cache.purge()
+	s.updates.Add(1)
+	return stats, nil
+}
+
+// DeleteEdge applies an edge deletion under the write lock, advancing
+// the store epoch and purging the leg cache.
+func (s *Server) DeleteEdge(fragID int, e graph.Edge) (dsa.UpdateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats, err := s.st.DeleteEdge(fragID, e)
+	if err != nil {
+		s.errors.Add(1)
+		return stats, err
+	}
+	s.cache.purge()
+	s.updates.Add(1)
+	return stats, nil
+}
+
+// SiteStats is one site's serving-time work.
+type SiteStats struct {
+	// Legs is the number of leg tasks the site's workers executed.
+	Legs uint64 `json:"legs"`
+	// BusyNS is the cumulative wall-clock nanoseconds those tasks took.
+	BusyNS int64 `json:"busy_ns"`
+}
+
+// Stats is the server-wide counter snapshot served at /stats.
+type Stats struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Epoch            uint64  `json:"epoch"`
+	Nodes            int     `json:"nodes"`
+	Sites            int     `json:"sites"`
+	LooselyConnected bool    `json:"loosely_connected"`
+	Problem          string  `json:"problem"`
+	DefaultEngine    string  `json:"default_engine"`
+
+	Queries          uint64 `json:"queries"`
+	ConnectedQueries uint64 `json:"connected_queries"`
+	PipelinedQueries uint64 `json:"pipelined_queries"`
+	Updates          uint64 `json:"updates"`
+	Errors           uint64 `json:"errors"`
+
+	Cache CacheStats  `json:"cache"`
+	Site  []SiteStats `json:"sites_work"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	st := Stats{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Epoch:            s.st.Epoch(),
+		Nodes:            s.st.Fragmentation().Base().NumNodes(),
+		Sites:            len(s.st.Sites()),
+		LooselyConnected: s.st.LooselyConnected(),
+		Problem:          s.st.Problem().String(),
+		DefaultEngine:    s.cfg.DefaultEngine.String(),
+	}
+	s.mu.RUnlock()
+	st.Queries = s.queries.Load()
+	st.ConnectedQueries = s.connected.Load()
+	st.PipelinedQueries = s.pipelined.Load()
+	st.Updates = s.updates.Load()
+	st.Errors = s.errors.Load()
+	st.Cache = s.cache.snapshot()
+	st.Site = make([]SiteStats, len(s.siteLegs))
+	for i := range s.siteLegs {
+		st.Site[i] = SiteStats{Legs: s.siteLegs[i].Load(), BusyNS: s.siteBusyNS[i].Load()}
+	}
+	return st
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// newGridServer builds a W×H grid store fragmented into frags linear
+// fragments and deploys a server over it.
+func newGridServer(t *testing.T, w, h, frags int, cfg Config) (*Server, *dsa.Store) {
+	t.Helper()
+	g, err := gen.Grid(gen.GridConfig{Width: w, Height: h, DiagonalProb: 0.15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := linear.Fragment(g, linear.Options{NumFragments: frags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dsa.Build(res.Fragmentation, dsa.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, st
+}
+
+// oracle is an independent store over the same fragmentation, used to
+// answer queries through the uncached library path.
+func newOracle(t *testing.T, st *dsa.Store) *dsa.Store {
+	t.Helper()
+	o, err := dsa.Build(st.Fragmentation(), dsa.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestServerMatchesLibrary is the serving-layer correctness property:
+// pooled, cached execution answers exactly what the one-shot library
+// pipeline answers, for repeated (cache-hitting) random queries and
+// both cost engines.
+func TestServerMatchesLibrary(t *testing.T) {
+	srv, st := newGridServer(t, 8, 8, 4, Config{CacheCapacity: 256})
+	oracle := newOracle(t, st)
+	rng := rand.New(rand.NewSource(3))
+	for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive} {
+		for q := 0; q < 15; q++ {
+			src := graph.NodeID(rng.Intn(64))
+			dst := graph.NodeID(rng.Intn(64))
+			want, err := oracle.Query(src, dst, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Twice: the second answer comes from the leg cache.
+			for pass := 0; pass < 2; pass++ {
+				got, _, err := srv.Query(src, dst, engine)
+				if err != nil {
+					t.Fatalf("server query %d->%d pass %d: %v", src, dst, pass, err)
+				}
+				if got.Reachable != want.Reachable {
+					t.Errorf("%v %d->%d pass %d: reachable %v, oracle %v",
+						engine, src, dst, pass, got.Reachable, want.Reachable)
+				}
+				if want.Reachable && math.Abs(got.Cost-want.Cost) > 1e-9 {
+					t.Errorf("%v %d->%d pass %d: cost %v, oracle %v",
+						engine, src, dst, pass, got.Cost, want.Cost)
+				}
+			}
+		}
+	}
+	cs := srv.Stats().Cache
+	if cs.Hits == 0 {
+		t.Error("no cache hits over repeated identical queries")
+	}
+}
+
+// TestServerConnectedAllEngines checks the reachability path, including
+// the connectivity-only bitset engine, against the graph's own
+// reachability.
+func TestServerConnectedAllEngines(t *testing.T) {
+	srv, st := newGridServer(t, 6, 6, 3, Config{CacheCapacity: 256})
+	base := st.Fragmentation().Base()
+	rng := rand.New(rand.NewSource(5))
+	for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset} {
+		for q := 0; q < 10; q++ {
+			src := graph.NodeID(rng.Intn(36))
+			dst := graph.NodeID(rng.Intn(36))
+			_, want := base.Reachable(src)[dst]
+			if src == dst {
+				want = true
+			}
+			got, _, err := srv.Connected(src, dst, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%v connected(%d, %d) = %v, want %v", engine, src, dst, got, want)
+			}
+		}
+	}
+}
+
+// TestServerUpdateInvalidatesCache inserts a shortcut edge that changes
+// a cached answer and checks the served cost moves to the new optimum
+// (a stale cache would keep answering the old cost).
+func TestServerUpdateInvalidatesCache(t *testing.T) {
+	srv, _ := newGridServer(t, 8, 8, 4, Config{CacheCapacity: 256})
+	src, dst := graph.NodeID(0), graph.NodeID(63)
+	before, _, err := srv.Query(src, dst, dsa.EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache with a second identical query.
+	if _, qs, err := srv.Query(src, dst, dsa.EngineDijkstra); err != nil || qs.CacheHits == 0 {
+		t.Fatalf("warm query: hits=%d err=%v", qs.CacheHits, err)
+	}
+	// A directed 0→63 shortcut far cheaper than any grid path.
+	if _, err := srv.InsertEdge(0, graph.Edge{From: src, To: dst, Weight: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := srv.Query(src, dst, dsa.EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after.Cost-0.25) > 1e-9 {
+		t.Errorf("cost after shortcut insert = %v, want 0.25 (before: %v)", after.Cost, before.Cost)
+	}
+	// And deleting restores the original answer.
+	if _, err := srv.DeleteEdge(0, graph.Edge{From: src, To: dst, Weight: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, err := srv.Query(src, dst, dsa.EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(restored.Cost-before.Cost) > 1e-9 {
+		t.Errorf("cost after delete = %v, want %v", restored.Cost, before.Cost)
+	}
+	st := srv.Stats()
+	if st.Epoch != 2 {
+		t.Errorf("epoch = %d, want 2", st.Epoch)
+	}
+	if st.Cache.Purges != 2 {
+		t.Errorf("cache purges = %d, want 2", st.Cache.Purges)
+	}
+}
+
+func TestServerRefusals(t *testing.T) {
+	srv, _ := newGridServer(t, 4, 4, 2, Config{CacheCapacity: 16})
+	if _, _, err := srv.Query(0, 15, dsa.EngineBitset); err == nil {
+		t.Error("bitset cost query accepted")
+	}
+	if _, _, err := srv.Query(0, 15, dsa.Engine(9)); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, _, err := srv.Query(0, 4096, dsa.EngineDijkstra); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := New(newOracle(t, mustStore(t)), Config{DefaultEngine: dsa.Engine(7)}); err == nil {
+		t.Error("unknown default engine accepted")
+	}
+}
+
+func mustStore(t *testing.T) *dsa.Store {
+	t.Helper()
+	g, err := gen.Grid(gen.GridConfig{Width: 3, Height: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := linear.Fragment(g, linear.Options{NumFragments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dsa.Build(res.Fragmentation, dsa.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestReachabilityStoreRefusesCostQueries mirrors the library contract
+// through the serving layer.
+func TestReachabilityStoreRefusesCostQueries(t *testing.T) {
+	g, err := gen.Grid(gen.GridConfig{Width: 4, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := linear.Fragment(g, linear.Options{NumFragments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dsa.Build(res.Fragmentation, dsa.Options{Problem: dsa.ProblemReachability})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(st, Config{CacheCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, _, err := srv.Query(0, 15, dsa.EngineDijkstra); err == nil {
+		t.Error("reachability store answered a cost query")
+	}
+	got, _, err := srv.Connected(0, 15, dsa.EngineBitset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("grid corners not connected")
+	}
+}
+
+// TestHTTPEndpoints drives the JSON API end to end over httptest.
+func TestHTTPEndpoints(t *testing.T) {
+	srv, st := newGridServer(t, 6, 6, 3, Config{CacheCapacity: 256})
+	oracle := newOracle(t, st)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string, wantStatus int, into any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatalf("GET %s: decode: %v", path, err)
+			}
+		}
+	}
+
+	get("/healthz", http.StatusOK, nil)
+
+	var qr QueryResponse
+	get("/query?src=0&dst=35", http.StatusOK, &qr)
+	want, err := oracle.Query(0, 35, dsa.EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Reachable || qr.Cost == nil || math.Abs(*qr.Cost-want.Cost) > 1e-9 {
+		t.Errorf("HTTP query 0->35 = %+v, oracle cost %v", qr, want.Cost)
+	}
+
+	var cr ConnectedResponse
+	get("/connected?src=0&dst=35&engine=bitset", http.StatusOK, &cr)
+	if !cr.Connected {
+		t.Error("corners not connected over HTTP")
+	}
+
+	var sr Stats
+	get("/stats", http.StatusOK, &sr)
+	if sr.Nodes != 36 || sr.Sites != 3 {
+		t.Errorf("stats nodes=%d sites=%d, want 36 and 3", sr.Nodes, sr.Sites)
+	}
+	if sr.Queries == 0 || sr.ConnectedQueries == 0 {
+		t.Errorf("stats did not count queries: %+v", sr)
+	}
+
+	// Client errors.
+	get("/query?src=zero&dst=1", http.StatusBadRequest, nil)
+	get("/query?src=0&dst=1&engine=warp", http.StatusBadRequest, nil)
+	get("/query?src=0&dst=1&engine=bitset", http.StatusBadRequest, nil)
+	get("/query?src=0&dst=1&mode=sideways", http.StatusBadRequest, nil)
+	get("/query?src=0&dst=999", http.StatusBadRequest, nil)
+
+	// Pipelined mode over HTTP: reports the engine it actually runs
+	// (multi-source dijkstra) and refuses an explicit engine selection
+	// rather than silently ignoring it.
+	var pr QueryResponse
+	get("/query?src=0&dst=35&mode=pipelined", http.StatusOK, &pr)
+	if !pr.Reachable || pr.Cost == nil || math.Abs(*pr.Cost-want.Cost) > 1e-9 {
+		t.Errorf("pipelined HTTP query = %+v, oracle cost %v", pr, want.Cost)
+	}
+	if pr.Engine != "dijkstra" {
+		t.Errorf("pipelined engine = %q, want dijkstra", pr.Engine)
+	}
+	get("/query?src=0&dst=35&mode=pipelined&engine=seminaive", http.StatusBadRequest, nil)
+
+	// Update round trip: insert then delete a shortcut.
+	post := func(body string, wantStatus int, into any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST /update %s: status %d, want %d", body, resp.StatusCode, wantStatus)
+		}
+		if into != nil {
+			if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var ur UpdateResponse
+	post(`{"op":"insert","fragment":0,"from":0,"to":35,"weight":0.5}`, http.StatusOK, &ur)
+	if ur.Epoch != 1 {
+		t.Errorf("epoch after insert = %d, want 1", ur.Epoch)
+	}
+	get("/query?src=0&dst=35", http.StatusOK, &qr)
+	if qr.Cost == nil || math.Abs(*qr.Cost-0.5) > 1e-9 {
+		t.Errorf("cost after HTTP insert = %v, want 0.5", qr.Cost)
+	}
+	post(`{"op":"delete","fragment":0,"from":0,"to":35,"weight":0.5}`, http.StatusOK, &ur)
+	post(`{"op":"teleport","fragment":0,"from":0,"to":1}`, http.StatusBadRequest, nil)
+	post(`not json`, http.StatusBadRequest, nil)
+}
+
+// TestRunLoadAgainstServer exercises the load driver end to end: a
+// repeated random workload must produce zero errors and mismatches and
+// a warm second pass.
+func TestRunLoadAgainstServer(t *testing.T) {
+	srv, _ := newGridServer(t, 6, 6, 3, Config{CacheCapacity: 512})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:         ts.URL,
+		Requests:        40,
+		Parallel:        4,
+		Nodes:           36,
+		Seed:            11,
+		Repeat:          2,
+		ExpectReachable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Fatalf("load run: %+v", rep)
+	}
+	if rep.Requests != 80 {
+		t.Errorf("requests = %d, want 80", rep.Requests)
+	}
+	if rep.HitRate == 0 {
+		t.Error("repeated workload produced no cache hits")
+	}
+	if rep.P50 == 0 || rep.Max < rep.P50 {
+		t.Errorf("implausible percentiles: %+v", rep)
+	}
+}
