@@ -366,6 +366,31 @@ func BenchmarkEngines(b *testing.B) {
 	}
 }
 
+// BenchmarkCost times the two cost-capable per-leg engines on the
+// identical entry-set-restricted shortest-path cost subquery over the
+// 64×64 grid: the semi-naive relational min-cost fixpoint versus the
+// dense CSR + level-synchronous Bellman-Ford kernel. CI turns the two
+// ns/op lines into BENCH_cost.json and gates the dense/seminaive ratio
+// against the committed baseline (a >20% ns/op regression fails).
+func BenchmarkCost(b *testing.B) {
+	rel := relation.FromGraph(benchGrid)
+	srcs := []graph.NodeID{0, 2080}
+	b.Run("seminaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tc.ShortestFrom(rel, srcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := tc.DenseCostFrom(rel, srcs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkServing runs the concurrent query-serving experiment: an
 // in-process tcserver driven by the parallel load generator, cold leg
 // cache versus a warm replay. The warm/cold QPS ratio and the warm hit

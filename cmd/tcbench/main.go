@@ -7,12 +7,15 @@
 //	tcbench -table 2             # one table
 //	tcbench -experiment speedup  # one performance experiment
 //	tcbench -trials 20 -seed 7   # bigger batches
+//	tcbench -experiment cost -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -20,14 +23,30 @@ import (
 func main() {
 	var (
 		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
-		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, serving (empty = all)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving (empty = all)")
 		trials     = flag.Int("trials", 10, "random graphs per table")
 		queries    = flag.Int("queries", 20, "queries per performance point")
-		sources    = flag.Int("sources", 2, "entry-set size for the engines experiment")
+		sources    = flag.Int("sources", 2, "entry-set size for the engines and cost experiments")
 		seed       = flag.Int64("seed", 42, "base random seed")
 		tablesOnly = flag.Bool("tables-only", false, "skip the performance experiments")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuProfileFile = f
+	}
+	memProfilePath = *memProfile
+	defer flushProfiles()
 
 	runTables := *experiment == ""
 	runExps := *table == "" && !*tablesOnly
@@ -97,6 +116,10 @@ func main() {
 			r, err := bench.Engines(*sources, *seed)
 			return formatter{r.Format}, err
 		})
+		run("cost", func() (fmt.Stringer, error) {
+			r, err := bench.Cost(*sources, *seed)
+			return formatter{r.Format}, err
+		})
 		run("serving", func() (fmt.Stringer, error) {
 			r, err := bench.Serving(*queries, *seed)
 			return formatter{r.Format}, err
@@ -126,7 +149,41 @@ type formatter struct{ f func() string }
 
 func (f formatter) String() string { return f.f() }
 
+// cpuProfileFile and memProfilePath hold the -cpuprofile/-memprofile
+// state so flushProfiles can finalise them on both the normal and the
+// fatal exit path — os.Exit skips defers, and an unflushed CPU profile
+// is unreadable.
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+)
+
+// flushProfiles stops the CPU profile and writes the heap profile, if
+// requested. Safe to call more than once.
+func flushProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+		cpuProfileFile = nil
+	}
+	if memProfilePath != "" {
+		path := memProfilePath
+		memProfilePath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcbench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tcbench:", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	flushProfiles()
 	fmt.Fprintln(os.Stderr, "tcbench:", err)
 	os.Exit(1)
 }

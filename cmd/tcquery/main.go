@@ -28,7 +28,7 @@ func main() {
 		fragFile  = flag.String("frag", "", "fragmentation file (required)")
 		src       = flag.Int("src", -1, "source node (required)")
 		dst       = flag.Int("dst", -1, "target node (required)")
-		engine    = flag.String("engine", "dijkstra", "local engine: dijkstra, seminaive or bitset (bitset answers connectivity only)")
+		engine    = flag.String("engine", "dijkstra", "local engine: dijkstra, seminaive, bitset or dense (bitset answers connectivity only)")
 		parallel  = flag.Bool("parallel", false, "run per-site subqueries concurrently")
 		highway   = flag.Int("phe", -1, "use parallel hierarchical evaluation with this highway fragment")
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")

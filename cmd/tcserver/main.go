@@ -8,7 +8,8 @@
 //
 //	tcserver -graph graph.txt -frag frags.txt -listen :8642
 //	tcserver -grid 64x64 -fragments 8 -listen 127.0.0.1:8642
-//	tcserver -grid 32x32 -fragments 4 -engine seminaive -cache 4096
+//	tcserver -grid 32x32 -fragments 4 -engine dense -cache 4096
+//	tcserver -grid 64x64 -fragments 8 -pprof   # /debug/pprof/ exposed
 //
 // Endpoints: /query, /connected, /update, /stats, /healthz (see the
 // README's serving section for schemas).
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,11 +45,12 @@ func main() {
 		diag      = flag.Float64("diag", 0.1, "diagonal shortcut probability for the generated grid")
 		seed      = flag.Int64("seed", 1, "seed for the generated grid")
 		listen    = flag.String("listen", ":8642", "listen address")
-		engine    = flag.String("engine", "dijkstra", "default engine: dijkstra, seminaive or bitset")
+		engine    = flag.String("engine", "dijkstra", "default engine: dijkstra, seminaive, bitset or dense")
 		problem   = flag.String("problem", "shortestpath", "precomputed problem: shortestpath or reachability")
 		cacheCap  = flag.Int("cache", 1024, "leg-result cache capacity in entries (0 disables)")
 		workers   = flag.Int("site-workers", 1, "worker goroutines per site")
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
 	)
 	flag.Parse()
 
@@ -84,7 +87,23 @@ func main() {
 	}
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *withPprof {
+		// The API handler owns every route except the profiler's; a
+		// fresh mux composes them so -pprof stays a pure opt-in (the
+		// import is gated here, not in the server package).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "tcserver: pprof enabled at /debug/pprof/")
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "tcserver: serving on %s (engine %s, cache %d, %d workers/site)\n",

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+// CostPoint is one row of the cost-engine shoot-out: both engines
+// answer the same entry-set-restricted shortest-path cost subquery on
+// the same grid graph — the exact shape of a fragment leg of the
+// paper's headline cost workload.
+type CostPoint struct {
+	// Width and Height are the grid dimensions.
+	Width, Height int
+	// Nodes and Edges describe the graph.
+	Nodes, Edges int
+	// SemiNaive and Dense are the measured wall-clock times.
+	SemiNaive, Dense time.Duration
+	// SemiNaiveStats and DenseStats report each engine's own work units
+	// (relational derived tuples vs. successful relaxations).
+	SemiNaiveStats, DenseStats tc.Stats
+	// Agree reports whether the two engines produced the same (src,
+	// dst) pairs with costs equal to 1e-9 (always checked; a
+	// disagreement is a bug).
+	Agree bool
+}
+
+// Speedup is the semi-naive / dense wall-clock ratio.
+func (p CostPoint) Speedup() float64 {
+	if p.Dense <= 0 {
+		return 0
+	}
+	return float64(p.SemiNaive) / float64(p.Dense)
+}
+
+// CostResult is the full cost-engine sweep.
+type CostResult struct {
+	Points  []CostPoint
+	Sources int
+}
+
+// Format renders the sweep as a table.
+func (r *CostResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cost-query engines on grid graphs (%d-source restricted shortest-path cost)\n", r.Sources)
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "grid\tnodes\tedges\tseminaive\tdense\tspeedup\titer-sn\titer-dn\tagree")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%dx%d\t%d\t%d\t%v\t%v\t%.1fx\t%d\t%d\t%v\n",
+			p.Width, p.Height, p.Nodes, p.Edges,
+			p.SemiNaive.Round(time.Microsecond), p.Dense.Round(time.Microsecond),
+			p.Speedup(), p.SemiNaiveStats.Iterations, p.DenseStats.Iterations, p.Agree)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// Cost measures the cost-capable per-leg engines against each other on
+// grid graphs of increasing size: the semi-naive relational min-cost
+// fixpoint with the entry set pushed as a selection (tc.ShortestFrom,
+// what dsa.EngineSemiNaive runs per leg) versus the dense CSR +
+// level-synchronous Bellman-Ford kernel (tc.DenseCostFrom,
+// dsa.EngineDense). The companion of Engines for the cost workload the
+// paper's introduction opens with ("the cost of the shortest path
+// between A and B").
+func Cost(sources int, seed int64) (*CostResult, error) {
+	if sources <= 0 {
+		sources = 2
+	}
+	res := &CostResult{Sources: sources}
+	for _, dim := range [][2]int{{16, 16}, {32, 32}, {64, 64}} {
+		g, err := gen.Grid(gen.GridConfig{Width: dim[0], Height: dim[1], DiagonalProb: 0.1, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		rel := relation.FromGraph(g)
+		nodes := g.Nodes()
+		rng := rand.New(rand.NewSource(seed + int64(dim[0])))
+		srcs := make([]graph.NodeID, sources)
+		for i := range srcs {
+			srcs[i] = nodes[rng.Intn(len(nodes))]
+		}
+
+		t0 := time.Now()
+		snRel, snStats, err := tc.ShortestFrom(rel, srcs)
+		if err != nil {
+			return nil, err
+		}
+		snTook := time.Since(t0)
+
+		t1 := time.Now()
+		dnRel, dnStats, err := tc.DenseCostFrom(rel, srcs)
+		if err != nil {
+			return nil, err
+		}
+		dnTook := time.Since(t1)
+
+		res.Points = append(res.Points, CostPoint{
+			Width: dim[0], Height: dim[1],
+			Nodes: g.NumNodes(), Edges: g.NumEdges(),
+			SemiNaive: snTook, Dense: dnTook,
+			SemiNaiveStats: snStats, DenseStats: dnStats,
+			Agree: sameCosts(snRel, dnRel),
+		})
+	}
+	return res, nil
+}
+
+// sameCosts reports whether two (src, dst, cost) relations hold the
+// same pair set with costs equal to within 1e-9 (float path sums can
+// differ in the last bits between equally cheap paths).
+func sameCosts(a, b *relation.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	costs := make(map[string]float64, a.Len())
+	var buf []byte
+	for _, t := range a.Tuples() {
+		buf = relation.Tuple{t[0], t[1]}.AppendKey(buf[:0])
+		costs[string(buf)] = t[2].(float64)
+	}
+	for _, t := range b.Tuples() {
+		buf = relation.Tuple{t[0], t[1]}.AppendKey(buf[:0])
+		c, ok := costs[string(buf)]
+		if !ok || math.Abs(c-t[2].(float64)) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}

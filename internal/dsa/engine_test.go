@@ -1,13 +1,17 @@
 package dsa
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/fragment"
+	"repro/internal/graph"
 )
 
 func TestEngineNames(t *testing.T) {
-	for _, e := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset} {
+	for _, e := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset, EngineDense} {
 		got, err := ParseEngine(e.String())
 		if err != nil {
 			t.Fatalf("ParseEngine(%q): %v", e.String(), err)
@@ -62,7 +66,7 @@ func TestPropertyEnginesAgreeOnConnectivity(t *testing.T) {
 			if src == dst {
 				want = true // Connected's same-node fast path
 			}
-			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset} {
+			for _, engine := range []Engine{EngineDijkstra, EngineSemiNaive, EngineBitset, EngineDense} {
 				got, err := st.Connected(src, dst, engine)
 				if err != nil {
 					return false
@@ -83,5 +87,137 @@ func TestPropertyEnginesAgreeOnConnectivity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestDenseEngineAnswersCostQueries: the dense engine is cost-capable —
+// Query/QueryParallel accept it and agree with the Dijkstra engine on
+// both the multi-fragment chain and the same-fragment fast path.
+func TestDenseEngineAnswersCostQueries(t *testing.T) {
+	st, _ := pathStore(t)
+	for _, q := range [][2]graph.NodeID{{0, 8}, {1, 2}, {8, 0}, {3, 6}} {
+		want, err := st.Query(q[0], q[1], EngineDijkstra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Query(q[0], q[1], EngineDense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Reachable != want.Reachable || math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Errorf("query %v: dense (%v, %v), dijkstra (%v, %v)",
+				q, got.Reachable, got.Cost, want.Reachable, want.Cost)
+		}
+		gotP, err := st.QueryParallel(q[0], q[1], EngineDense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotP.Cost-want.Cost) > 1e-9 {
+			t.Errorf("parallel query %v: dense cost %v, want %v", q, gotP.Cost, want.Cost)
+		}
+	}
+}
+
+// TestPropertyDenseEngineMatchesDijkstraCosts: on random loosely
+// connected fragmentations, the dense engine's query cost equals the
+// Dijkstra engine's for random node pairs (and the pipelined dense
+// mode agrees too).
+func TestPropertyDenseEngineMatchesDijkstraCosts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, g, err := buildLinearStore(seed, 2+rng.Intn(2), 8+rng.Intn(6), 2+rng.Intn(3))
+		if err != nil {
+			return false
+		}
+		nodes := g.Nodes()
+		for q := 0; q < 4; q++ {
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			want, err := st.Query(src, dst, EngineDijkstra)
+			if err != nil {
+				return false
+			}
+			got, err := st.Query(src, dst, EngineDense)
+			if err != nil {
+				return false
+			}
+			if got.Reachable != want.Reachable {
+				return false
+			}
+			if want.Reachable && math.Abs(got.Cost-want.Cost) > 1e-9 {
+				return false
+			}
+			pip, err := st.QueryPipelinedEngine(src, dst, EngineDense)
+			if err != nil {
+				return false
+			}
+			if pip.Reachable != want.Reachable {
+				return false
+			}
+			if want.Reachable && math.Abs(pip.Cost-want.Cost) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueryPipelinedEngineRefusals: pipelined evaluation needs a
+// vector-seeded engine; the relational and bitset engines are refused.
+func TestQueryPipelinedEngineRefusals(t *testing.T) {
+	st, _ := pathStore(t)
+	for _, e := range []Engine{EngineSemiNaive, EngineBitset} {
+		if _, err := st.QueryPipelinedEngine(0, 8, e); err == nil {
+			t.Errorf("pipelined accepted non-vector-seeded engine %v", e)
+		}
+	}
+	res, err := st.QueryPipelinedEngine(0, 8, EngineDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable || res.Cost != 8 {
+		t.Errorf("pipelined dense 0→8 = (%v, %v), want (true, 8)", res.Reachable, res.Cost)
+	}
+}
+
+// TestDenseEngineNegativeWeightsErrorNotPanic: graph files may carry
+// negative weights (graph.Read does not validate signs), and Dijkstra
+// silently tolerates them — but the dense kernel cannot. It must
+// surface an error like the semi-naive engine, not panic: the serving
+// layer runs legs on worker goroutines, where a panic kills the
+// daemon.
+func TestDenseEngineNegativeWeightsErrorNotPanic(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 3; i++ {
+		g.AddNode(graph.NodeID(i), graph.Coord{X: float64(i)})
+	}
+	e1 := graph.Edge{From: 0, To: 1, Weight: -2}
+	e2 := graph.Edge{From: 1, To: 2, Weight: 1}
+	g.AddEdge(e1)
+	g.AddEdge(e2)
+	fr, err := fragment.New(g, [][]graph.Edge{{e1, e2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build(fr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Query(0, 2, EngineDense); err == nil {
+		t.Error("dense query over negative weights returned no error")
+	}
+	if _, err := st.QueryPipelinedEngine(0, 2, EngineDense); err == nil {
+		t.Error("pipelined dense query over negative weights returned no error")
+	}
+	if _, _, err := st.ExecuteLegFull(0, []graph.NodeID{0}, EngineDense); err == nil {
+		t.Error("ExecuteLegFull dense over negative weights returned no error")
+	}
+	// The semi-naive engine refuses the same input; dijkstra remains
+	// callable (it silently assumes non-negative weights).
+	if _, err := st.Query(0, 2, EngineSemiNaive); err == nil {
+		t.Error("seminaive query over negative weights returned no error")
 	}
 }

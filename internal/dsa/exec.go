@@ -31,6 +31,13 @@ const (
 	// ProblemReachability complementary tables), so Connected works on
 	// every store but cost queries refuse it.
 	EngineBitset
+	// EngineDense runs the entry-set-restricted dense cost kernel
+	// (tc.DenseGraph.CostFrom) over a CSR snapshot of the augmented
+	// fragment that the site builds once and reuses across legs. Unlike
+	// the bitset engine it carries real path costs, so it answers both
+	// cost and connectivity queries — the kernel-class engine for the
+	// paper's headline workload.
+	EngineDense
 )
 
 // String names the engine the way the CLI flags spell it.
@@ -42,6 +49,8 @@ func (e Engine) String() string {
 		return "seminaive"
 	case EngineBitset:
 		return "bitset"
+	case EngineDense:
+		return "dense"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
@@ -55,13 +64,21 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineSemiNaive, nil
 	case "bitset":
 		return EngineBitset, nil
+	case "dense":
+		return EngineDense, nil
 	}
-	return 0, fmt.Errorf("dsa: unknown engine %q (want dijkstra, seminaive or bitset)", name)
+	return 0, fmt.Errorf("dsa: unknown engine %q (want dijkstra, seminaive, bitset or dense)", name)
 }
 
-// validEngine reports whether e is a known engine.
-func validEngine(e Engine) bool {
-	return e == EngineDijkstra || e == EngineSemiNaive || e == EngineBitset
+// ValidEngine reports whether e is a known engine — the single source
+// of truth layers above (the serving layer, CLIs) check against, so an
+// engine added here is automatically accepted everywhere.
+func ValidEngine(e Engine) bool {
+	switch e {
+	case EngineDijkstra, EngineSemiNaive, EngineBitset, EngineDense:
+		return true
+	}
+	return false
 }
 
 // LegResult is one executed leg: the (entry, exit, cost) facts it
@@ -278,7 +295,7 @@ func (st *Store) FinishPlan(plan *Plan, results []*LegResult, res *Result) error
 // when parallel is set), then assembly. External planners (package phe)
 // pair it with PlanChains.
 func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, error) {
-	if !validEngine(engine) {
+	if !ValidEngine(engine) {
 		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
 	}
 	start := time.Now()
@@ -371,7 +388,7 @@ func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
 			return nil, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
 		}
 		stats = s
-		filtered, err := full.SelectIn("dst", relation.NodeSet(leg.Exit))
+		filtered, err := full.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
 		if err != nil {
 			return nil, err
 		}
@@ -385,7 +402,7 @@ func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
 			return nil, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
 		}
 		stats = s
-		filtered, err := pairs.SelectIn("dst", relation.NodeSet(leg.Exit))
+		filtered, err := pairs.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
 		if err != nil {
 			return nil, err
 		}
@@ -394,6 +411,21 @@ func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
 			// finite and Reachable is exact; Cost is meaningless and
 			// cost queries refuse this engine.
 			out.MustInsert(relation.Tuple{t[0], t[1], 1.0})
+		}
+		stats.ResultTuples = out.Len()
+	case EngineDense:
+		kernel, err := site.denseKernel()
+		if err != nil {
+			return nil, err
+		}
+		full, s := kernel.CostFrom(leg.Entry)
+		stats = s
+		filtered, err := full.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range filtered.Tuples() {
+			out.MustInsert(t)
 		}
 		stats.ResultTuples = out.Len()
 	default:
@@ -457,6 +489,15 @@ func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine)
 		for _, t := range pairs.Tuples() {
 			full.MustInsert(relation.Tuple{t[0], t[1], 1.0})
 		}
+	case EngineDense:
+		kernel, err := site.denseKernel()
+		if err != nil {
+			return nil, tc.Stats{}, err
+		}
+		// The site's CSR snapshot already owns its result relation.
+		rel, s := kernel.CostFrom(entry)
+		stats = s
+		full = rel
 	default:
 		return nil, tc.Stats{}, fmt.Errorf("dsa: unknown engine %d", engine)
 	}
@@ -471,7 +512,7 @@ func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine)
 // order aside), so cached full relations and freshly executed legs
 // assemble to identical answers.
 func FilterLegFacts(full *relation.Relation, leg Leg) (*relation.Relation, error) {
-	out, err := full.SelectIn("dst", relation.NodeSet(leg.Exit))
+	out, err := full.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
 	if err != nil {
 		return nil, err
 	}

@@ -21,8 +21,21 @@ import (
 // serialises the chain, so it cannot exploit one-processor-per-fragment
 // parallelism within a single query.
 func (st *Store) QueryPipelined(source, target graph.NodeID) (*Result, error) {
+	return st.QueryPipelinedEngine(source, target, EngineDijkstra)
+}
+
+// QueryPipelinedEngine is QueryPipelined with an explicit per-leg
+// search engine. Pipelined legs are seeded with the running cost
+// vector, so only the engines with a vector-seeded multi-source
+// primitive qualify: EngineDijkstra (graph.ShortestPathsMulti) and
+// EngineDense (the CSR kernel's CostVector). The relational and bitset
+// engines are refused.
+func (st *Store) QueryPipelinedEngine(source, target graph.NodeID, engine Engine) (*Result, error) {
 	if st.problem != ProblemShortestPath {
 		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+	}
+	if engine != EngineDijkstra && engine != EngineDense {
+		return nil, fmt.Errorf("dsa: pipelined evaluation needs a vector-seeded engine (dijkstra or dense), not %v", engine)
 	}
 	start := time.Now()
 	plan, err := st.NewPlan(source, target)
@@ -35,7 +48,10 @@ func (st *Store) QueryPipelined(source, target graph.NodeID) (*Result, error) {
 		return res, nil
 	}
 	for _, chain := range plan.Chains {
-		cost, ok := st.pipelineChain(source, target, chain, res)
+		cost, ok, err := st.pipelineChain(source, target, chain, engine, res)
+		if err != nil {
+			return nil, err
+		}
 		if ok && cost < res.Cost {
 			res.Cost = cost
 			res.BestChain = chain
@@ -48,12 +64,21 @@ func (st *Store) QueryPipelined(source, target graph.NodeID) (*Result, error) {
 
 // pipelineChain folds one chain with vector-seeded multi-source
 // searches and returns the cost at the target.
-func (st *Store) pipelineChain(source, target graph.NodeID, chain []int, res *Result) (float64, bool) {
+func (st *Store) pipelineChain(source, target graph.NodeID, chain []int, engine Engine, res *Result) (float64, bool, error) {
 	vector := map[graph.NodeID]float64{source: 0}
 	for i, fragID := range chain {
 		site := st.sites[fragID]
 		t0 := time.Now()
-		dist, _ := site.augmented.ShortestPathsMulti(vector)
+		var dist map[graph.NodeID]float64
+		if engine == EngineDense {
+			kernel, err := site.denseKernel()
+			if err != nil {
+				return 0, false, err
+			}
+			dist = kernel.CostVector(vector)
+		} else {
+			dist, _ = site.augmented.ShortestPathsMulti(vector)
+		}
 
 		var exits []graph.NodeID
 		if i+1 < len(chain) {
@@ -77,10 +102,10 @@ func (st *Store) pipelineChain(source, target graph.NodeID, chain []int, res *Re
 		res.TuplesShipped += len(next)
 
 		if len(next) == 0 {
-			return 0, false
+			return 0, false, nil
 		}
 		vector = next
 	}
 	cost, ok := vector[target]
-	return cost, ok
+	return cost, ok, nil
 }

@@ -17,10 +17,12 @@ package dsa
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/fragment"
 	"repro/internal/graph"
 	"repro/internal/relation"
+	"repro/internal/tc"
 )
 
 // CompInfo is the complementary information of one disconnection set:
@@ -77,6 +79,30 @@ type Site struct {
 	// localRel is the augmented subgraph as an edge relation, for the
 	// semi-naive local engine.
 	localRel *relation.Relation
+	// dense is the CSR snapshot of localRel the dense cost engine runs
+	// on, built lazily once per deployment (updates rebuild the sites,
+	// so a snapshot can never go stale within a site's lifetime).
+	denseOnce sync.Once
+	dense     *tc.DenseGraph
+	denseErr  error
+}
+
+// denseKernel returns the site's CSR snapshot, building it on first
+// use. Construction fails on input the kernel cannot serve — notably
+// negative edge weights, which graph files may carry — and the error
+// is memoized and surfaced per query, exactly like the semi-naive
+// engine's refusal (a worker-goroutine panic would kill the serving
+// daemon).
+func (s *Site) denseKernel() (*tc.DenseGraph, error) {
+	s.denseOnce.Do(func() {
+		d, err := tc.NewDenseGraph(s.localRel)
+		if err != nil {
+			s.denseErr = fmt.Errorf("dsa: site %d dense snapshot: %v", s.ID, err)
+			return
+		}
+		s.dense = d
+	})
+	return s.dense, s.denseErr
 }
 
 // Augmented returns the search graph of the site: the fragment plus the

@@ -33,13 +33,15 @@ func (r *Relation) MinBy(valueAttr string, keyAttrs ...string) (*Relation, error
 	}
 	best := make(map[string]*slot, len(r.tuples))
 	var order []string
+	var buf []byte
 	for i, t := range r.tuples {
 		v, err := numeric(t[vi])
 		if err != nil {
 			return nil, fmt.Errorf("relation: minby: tuple %d: %v", i, err)
 		}
-		k := keyAt(t, kpos)
-		if s, ok := best[k]; !ok {
+		buf = appendKeyAt(buf[:0], t, kpos)
+		if s, ok := best[string(buf)]; !ok {
+			k := string(buf)
 			best[k] = &slot{order: len(order), tuple: t, val: v}
 			order = append(order, k)
 		} else if v < s.val {
@@ -48,7 +50,7 @@ func (r *Relation) MinBy(valueAttr string, keyAttrs ...string) (*Relation, error
 	}
 	out := &Relation{schema: r.Schema()}
 	for _, k := range order {
-		out.tuples = append(out.tuples, append(Tuple(nil), best[k].tuple...))
+		out.tuples = append(out.tuples, best[k].tuple)
 	}
 	return out, nil
 }

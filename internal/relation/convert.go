@@ -52,3 +52,14 @@ func NodeSet(ids []graph.NodeID) map[Value]struct{} {
 	}
 	return set
 }
+
+// NodeKeySet interns a list of node IDs into the prebuilt probe set
+// accepted by SelectInKeys — one encoding pass at construction instead
+// of one per selection call.
+func NodeKeySet(ids []graph.NodeID) *KeySet {
+	vals := make([]Value, len(ids))
+	for i, id := range ids {
+		vals[i] = int64(id)
+	}
+	return NewKeySet(vals...)
+}

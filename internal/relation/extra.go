@@ -27,9 +27,11 @@ func (r *Relation) CountBy(keyAttrs ...string) (*Relation, error) {
 	counts := make(map[string]int64)
 	reps := make(map[string]Tuple)
 	var order []string
+	var buf []byte
 	for _, t := range r.tuples {
-		k := keyAt(t, kpos)
-		if _, ok := counts[k]; !ok {
+		buf = appendKeyAt(buf[:0], t, kpos)
+		if _, ok := counts[string(buf)]; !ok {
+			k := string(buf)
 			order = append(order, k)
 			rep := make(Tuple, len(kpos))
 			for i, p := range kpos {
@@ -37,7 +39,7 @@ func (r *Relation) CountBy(keyAttrs ...string) (*Relation, error) {
 			}
 			reps[k] = rep
 		}
-		counts[k]++
+		counts[string(buf)]++
 	}
 	out := &Relation{schema: outSchema}
 	for _, k := range order {
@@ -178,19 +180,23 @@ func (r *Relation) Intersect(s *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("relation: intersect: schema mismatch %v vs %v", r.schema, s.schema)
 	}
 	keep := make(map[string]struct{}, s.Len())
+	var buf []byte
 	for _, t := range s.tuples {
-		keep[t.Key()] = struct{}{}
+		buf = t.AppendKey(buf[:0])
+		if _, ok := keep[string(buf)]; !ok {
+			keep[string(buf)] = struct{}{}
+		}
 	}
 	out := &Relation{schema: r.Schema()}
 	seen := make(map[string]struct{})
 	for _, t := range r.tuples {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
+		buf = t.AppendKey(buf[:0])
+		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
-		if _, ok := keep[k]; ok {
-			seen[k] = struct{}{}
-			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		if _, ok := keep[string(buf)]; ok {
+			seen[string(buf)] = struct{}{}
+			out.tuples = append(out.tuples, t)
 		}
 	}
 	return out, nil

@@ -1,16 +1,26 @@
 package relation
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
+
+// The operators below share tuple storage between input and output
+// relations instead of copying: tuples are immutable once inserted
+// (Insert copies, Tuples() is documented read-only), so a result
+// relation referencing its operands' tuples is safe and saves one
+// allocation per output tuple. Deep copies remain available via Clone.
 
 // Predicate decides whether a tuple satisfies a selection condition.
 type Predicate func(Tuple) bool
 
 // Select returns the tuples of r satisfying pred, preserving order.
+// The result shares tuple storage with r.
 func (r *Relation) Select(pred Predicate) *Relation {
 	out := &Relation{schema: r.Schema()}
 	for _, t := range r.tuples {
 		if pred(t) {
-			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+			out.tuples = append(out.tuples, t)
 		}
 	}
 	return out
@@ -24,30 +34,49 @@ func (r *Relation) SelectEq(attr string, v Value) (*Relation, error) {
 	if i < 0 {
 		return nil, fmt.Errorf("relation: select: unknown attribute %q", attr)
 	}
-	return r.Select(func(t Tuple) bool { return valueEqual(t[i], v) }), nil
+	key := appendValue(nil, v)
+	var buf []byte
+	return r.Select(func(t Tuple) bool {
+		buf = appendValue(buf[:0], t[i])
+		return bytes.Equal(buf, key)
+	}), nil
 }
 
 // SelectIn selects tuples whose named attribute is a member of set; it
 // models the "disconnection sets act as some sort of keyhole" selection
 // of §2.2, where only paths through the DS nodes are examined.
+//
+// The probe set is interned on every call; callers that reuse one set
+// across selections should build a KeySet once and use SelectInKeys.
 func (r *Relation) SelectIn(attr string, set map[Value]struct{}) (*Relation, error) {
+	return r.SelectInKeys(attr, NewKeySetFromMap(set))
+}
+
+// SelectInKeys selects tuples whose named attribute is a member of the
+// prebuilt interned set — the repeated-selection form of SelectIn: the
+// set is encoded once at construction, each call only probes.
+func (r *Relation) SelectInKeys(attr string, set *KeySet) (*Relation, error) {
 	i := r.schema.IndexOf(attr)
 	if i < 0 {
 		return nil, fmt.Errorf("relation: select: unknown attribute %q", attr)
 	}
-	keys := make(map[string]struct{}, len(set))
-	for v := range set {
-		keys[Tuple{v}.Key()] = struct{}{}
+	out := &Relation{schema: r.Schema()}
+	var buf []byte
+	var ok bool
+	for _, t := range r.tuples {
+		buf, ok = set.has(buf, t[i])
+		if ok {
+			out.tuples = append(out.tuples, t)
+		}
 	}
-	return r.Select(func(t Tuple) bool {
-		_, ok := keys[Tuple{t[i]}.Key()]
-		return ok
-	}), nil
+	return out, nil
 }
 
 // valueEqual compares two values, treating int64/float64 as distinct
 // types (the engine does no implicit coercion).
-func valueEqual(a, b Value) bool { return Tuple{a}.Key() == Tuple{b}.Key() }
+func valueEqual(a, b Value) bool {
+	return bytes.Equal(appendValue(nil, a), appendValue(nil, b))
+}
 
 // Project returns the projection of r onto the named attributes, in the
 // given order, keeping bag semantics (duplicates preserved).
@@ -71,16 +100,14 @@ func (r *Relation) Project(attrs ...string) (*Relation, error) {
 	return out, nil
 }
 
-// Rename returns a relation with the same tuples and renamed attributes.
+// Rename returns a relation with the same tuples and renamed
+// attributes, sharing tuple storage.
 func (r *Relation) Rename(newSchema ...string) (*Relation, error) {
 	if len(newSchema) != len(r.schema) {
 		return nil, fmt.Errorf("relation: rename: arity mismatch %d vs %d", len(newSchema), len(r.schema))
 	}
 	out := New(newSchema...)
-	out.tuples = make([]Tuple, len(r.tuples))
-	for i, t := range r.tuples {
-		out.tuples[i] = append(Tuple(nil), t...)
-	}
+	out.tuples = append([]Tuple(nil), r.tuples...)
 	return out, nil
 }
 
@@ -88,13 +115,14 @@ func (r *Relation) Rename(newSchema ...string) (*Relation, error) {
 func (r *Relation) Distinct() *Relation {
 	out := &Relation{schema: r.Schema()}
 	seen := make(map[string]struct{}, len(r.tuples))
+	var buf []byte
 	for _, t := range r.tuples {
-		k := t.Key()
-		if _, ok := seen[k]; ok {
+		buf = t.AppendKey(buf[:0])
+		if _, ok := seen[string(buf)]; ok {
 			continue
 		}
-		seen[k] = struct{}{}
-		out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		seen[string(buf)] = struct{}{}
+		out.tuples = append(out.tuples, t)
 	}
 	return out
 }
@@ -107,14 +135,15 @@ func (r *Relation) Union(s *Relation) (*Relation, error) {
 	}
 	out := &Relation{schema: r.Schema()}
 	seen := make(map[string]struct{}, len(r.tuples)+len(s.tuples))
+	var buf []byte
 	for _, src := range []*Relation{r, s} {
 		for _, t := range src.tuples {
-			k := t.Key()
-			if _, ok := seen[k]; ok {
+			buf = t.AppendKey(buf[:0])
+			if _, ok := seen[string(buf)]; ok {
 				continue
 			}
-			seen[k] = struct{}{}
-			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+			seen[string(buf)] = struct{}{}
+			out.tuples = append(out.tuples, t)
 		}
 	}
 	return out, nil
@@ -127,21 +156,25 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("relation: difference: schema mismatch %v vs %v", r.schema, s.schema)
 	}
 	drop := make(map[string]struct{}, len(s.tuples))
+	var buf []byte
 	for _, t := range s.tuples {
-		drop[t.Key()] = struct{}{}
+		buf = t.AppendKey(buf[:0])
+		if _, ok := drop[string(buf)]; !ok {
+			drop[string(buf)] = struct{}{}
+		}
 	}
 	out := &Relation{schema: r.Schema()}
 	seen := make(map[string]struct{})
 	for _, t := range r.tuples {
-		k := t.Key()
-		if _, isDup := seen[k]; isDup {
+		buf = t.AppendKey(buf[:0])
+		if _, isDup := seen[string(buf)]; isDup {
 			continue
 		}
-		if _, gone := drop[k]; gone {
+		if _, gone := drop[string(buf)]; gone {
 			continue
 		}
-		seen[k] = struct{}{}
-		out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		seen[string(buf)] = struct{}{}
+		out.tuples = append(out.tuples, t)
 	}
 	return out, nil
 }
@@ -150,7 +183,8 @@ func (r *Relation) Difference(s *Relation) (*Relation, error) {
 // (leftAttrs[i] = rightAttrs[i]) with a hash join: the smaller operand
 // is built into a hash table and the larger probed, which is also how
 // the final assembly joins of the disconnection set approach exploit
-// their "relatively small operands" (§2.1).
+// their "relatively small operands" (§2.1). Probes encode into a reused
+// scratch buffer, so only the build side materialises key strings.
 //
 // The output schema is r's attributes followed by s's attributes that
 // are not join attributes; join attributes appear once, under their
@@ -193,26 +227,29 @@ func (r *Relation) Join(s *Relation, leftAttrs, rightAttrs []string) (*Relation,
 	}
 
 	out := &Relation{schema: outSchema}
+	var buf []byte
 	// Build on the smaller side, probe with the larger.
 	if len(r.tuples) <= len(s.tuples) {
 		table := make(map[string][]Tuple, len(r.tuples))
 		for _, t := range r.tuples {
-			k := keyAt(t, lpos)
-			table[k] = append(table[k], t)
+			buf = appendKeyAt(buf[:0], t, lpos)
+			table[string(buf)] = append(table[string(buf)], t)
 		}
 		for _, st := range s.tuples {
-			for _, rt := range table[keyAt(st, rpos)] {
+			buf = appendKeyAt(buf[:0], st, rpos)
+			for _, rt := range table[string(buf)] {
 				out.tuples = append(out.tuples, combine(rt, st, rkeep))
 			}
 		}
 	} else {
 		table := make(map[string][]Tuple, len(s.tuples))
 		for _, t := range s.tuples {
-			k := keyAt(t, rpos)
-			table[k] = append(table[k], t)
+			buf = appendKeyAt(buf[:0], t, rpos)
+			table[string(buf)] = append(table[string(buf)], t)
 		}
 		for _, rt := range r.tuples {
-			for _, st := range table[keyAt(rt, lpos)] {
+			buf = appendKeyAt(buf[:0], rt, lpos)
+			for _, st := range table[string(buf)] {
 				out.tuples = append(out.tuples, combine(rt, st, rkeep))
 			}
 		}
@@ -256,13 +293,18 @@ func (r *Relation) SemiJoin(s *Relation, leftAttrs, rightAttrs []string) (*Relat
 		rpos[i] = p
 	}
 	keys := make(map[string]struct{}, len(s.tuples))
+	var buf []byte
 	for _, t := range s.tuples {
-		keys[keyAt(t, rpos)] = struct{}{}
+		buf = appendKeyAt(buf[:0], t, rpos)
+		if _, ok := keys[string(buf)]; !ok {
+			keys[string(buf)] = struct{}{}
+		}
 	}
 	out := &Relation{schema: r.Schema()}
 	for _, t := range r.tuples {
-		if _, ok := keys[keyAt(t, lpos)]; ok {
-			out.tuples = append(out.tuples, append(Tuple(nil), t...))
+		buf = appendKeyAt(buf[:0], t, lpos)
+		if _, ok := keys[string(buf)]; ok {
+			out.tuples = append(out.tuples, t)
 		}
 	}
 	return out, nil

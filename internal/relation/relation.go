@@ -17,6 +17,7 @@
 package relation
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -134,57 +135,20 @@ func validValue(v Value) bool {
 	return false
 }
 
-// encodeValue renders a value into a hash key, prefixing the type so
-// int64(1) and "1" never collide.
-func encodeValue(sb *strings.Builder, v Value) {
-	switch x := v.(type) {
-	case int64:
-		sb.WriteByte('i')
-		sb.WriteString(strconv.FormatInt(x, 10))
-	case float64:
-		sb.WriteByte('f')
-		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
-	case string:
-		sb.WriteByte('s')
-		sb.WriteString(strconv.Itoa(len(x)))
-		sb.WriteByte(':')
-		sb.WriteString(x)
-	case bool:
-		sb.WriteByte('b')
-		if x {
-			sb.WriteByte('1')
-		} else {
-			sb.WriteByte('0')
-		}
-	default:
-		panic(fmt.Sprintf("relation: unsupported value type %T", v))
-	}
-	sb.WriteByte('|')
-}
-
-// Key renders the whole tuple into a string usable as a map key.
+// Key renders the whole tuple into a string usable as a map key. Hot
+// paths avoid this and use AppendKey with a reused scratch buffer (see
+// keys.go); Key remains the convenient form for tests and one-offs.
 func (t Tuple) Key() string {
-	var sb strings.Builder
-	for _, v := range t {
-		encodeValue(&sb, v)
-	}
-	return sb.String()
-}
-
-// keyAt renders the projection of t onto the given positions.
-func keyAt(t Tuple, pos []int) string {
-	var sb strings.Builder
-	for _, p := range pos {
-		encodeValue(&sb, t[p])
-	}
-	return sb.String()
+	return string(t.AppendKey(nil))
 }
 
 // Contains reports whether the relation holds a tuple equal to t.
 func (r *Relation) Contains(t Tuple) bool {
-	k := t.Key()
+	key := t.AppendKey(nil)
+	var buf []byte
 	for _, u := range r.tuples {
-		if u.Key() == k {
+		buf = u.AppendKey(buf[:0])
+		if bytes.Equal(buf, key) {
 			return true
 		}
 	}
@@ -193,12 +157,30 @@ func (r *Relation) Contains(t Tuple) bool {
 
 // Sort orders the tuples lexicographically by their encoded keys, in
 // place, and returns the relation. Deterministic output for printing
-// and comparison in tests.
+// and comparison in tests. Keys are encoded once per tuple, not per
+// comparison.
 func (r *Relation) Sort() *Relation {
-	sort.Slice(r.tuples, func(i, j int) bool {
-		return r.tuples[i].Key() < r.tuples[j].Key()
-	})
+	keys := make([]string, len(r.tuples))
+	var buf []byte
+	for i, t := range r.tuples {
+		buf = t.AppendKey(buf[:0])
+		keys[i] = string(buf)
+	}
+	sort.Sort(&byKey{tuples: r.tuples, keys: keys})
 	return r
+}
+
+// byKey sorts tuples and their precomputed keys together.
+type byKey struct {
+	tuples []Tuple
+	keys   []string
+}
+
+func (s *byKey) Len() int           { return len(s.tuples) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.tuples[i], s.tuples[j] = s.tuples[j], s.tuples[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // String renders the relation as a compact table.

@@ -56,7 +56,8 @@ func (s CacheStats) HitRate() float64 {
 // cacheEntry is one memoized leg: the full (unfiltered) fact relation
 // of ExecuteLegFull and its stats, tagged with the store epoch it was
 // computed under. The relation is shared read-only across queries;
-// FilterLegFacts copies tuples, never mutates.
+// FilterLegFacts builds a fresh tuple list (sharing immutable tuple
+// storage), never mutates the cached relation.
 type cacheEntry struct {
 	key   string
 	epoch uint64

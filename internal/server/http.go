@@ -143,16 +143,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "pooled":
 		res, qs, err = s.Query(src, dst, engine)
 	case "pipelined":
-		// Pipelined evaluation has exactly one engine (the vector-seeded
-		// multi-source Dijkstra), so an explicit engine selection would
-		// be silently ignored — refuse it instead.
-		if r.URL.Query().Get("engine") != "" {
+		// Pipelined evaluation is vector-seeded, so only the engines
+		// with a multi-source seeded primitive qualify: dijkstra and
+		// dense. With no explicit selection, honor the server's
+		// configured default when it qualifies (as mode=pooled does)
+		// and fall back to dijkstra otherwise; an explicit non-seeded
+		// engine would be silently ignored — refuse it instead.
+		if r.URL.Query().Get("engine") == "" {
+			if engine != dsa.EngineDense {
+				engine = dsa.EngineDijkstra
+			}
+		} else if engine != dsa.EngineDijkstra && engine != dsa.EngineDense {
 			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("mode=pipelined does not take an engine (it always runs multi-source dijkstra)"))
+				fmt.Errorf("mode=pipelined needs a vector-seeded engine (dijkstra or dense), not %q", engine))
 			return
 		}
-		engine = dsa.EngineDijkstra
-		res, err = s.QueryPipelined(src, dst)
+		res, err = s.QueryPipelined(src, dst, engine)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want pooled or pipelined)", mode))
 		return

@@ -67,7 +67,11 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 		for i := 0; i < iters; i++ {
 			src := graph.NodeID(rng.Intn(nodes))
 			dst := graph.NodeID(rng.Intn(nodes))
-			if _, err := srv.QueryPipelined(src, dst); err != nil {
+			engine := dsa.EngineDijkstra
+			if i%2 == 1 {
+				engine = dsa.EngineDense
+			}
+			if _, err := srv.QueryPipelined(src, dst, engine); err != nil {
 				t.Errorf("pipelined worker: %v", err)
 				return
 			}

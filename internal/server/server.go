@@ -62,7 +62,7 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 	if st == nil {
 		return nil, fmt.Errorf("server: nil store")
 	}
-	if !knownEngine(cfg.DefaultEngine) {
+	if !dsa.ValidEngine(cfg.DefaultEngine) {
 		return nil, fmt.Errorf("server: unknown default engine %d", int(cfg.DefaultEngine))
 	}
 	if cfg.SiteWorkers < 1 {
@@ -85,14 +85,6 @@ func (s *Server) Close() { s.pools.close() }
 
 // DefaultEngine returns the engine used when a request names none.
 func (s *Server) DefaultEngine() dsa.Engine { return s.cfg.DefaultEngine }
-
-func knownEngine(e dsa.Engine) bool {
-	switch e {
-	case dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset:
-		return true
-	}
-	return false
-}
 
 // QueryStats reports the cache behaviour of one query.
 type QueryStats struct {
@@ -127,11 +119,13 @@ func (s *Server) Connected(source, target graph.NodeID, engine dsa.Engine) (bool
 
 // QueryPipelined passes a pipelined-evaluation query through the
 // serving layer's locking (no leg cache: pipelined legs are seeded
-// with the running cost vector, so they are query-specific).
-func (s *Server) QueryPipelined(source, target graph.NodeID) (*dsa.Result, error) {
+// with the running cost vector, so they are query-specific). The
+// engine must support vector-seeded evaluation: dsa.EngineDijkstra or
+// dsa.EngineDense.
+func (s *Server) QueryPipelined(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.st.QueryPipelined(source, target)
+	res, err := s.st.QueryPipelinedEngine(source, target, engine)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
@@ -144,7 +138,7 @@ func (s *Server) QueryPipelined(source, target graph.NodeID) (*dsa.Result, error
 // costQuery marks shortest-path queries, which reachability stores and
 // the connectivity-only bitset engine refuse (mirroring dsa.Query).
 func (s *Server) run(source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
-	if !knownEngine(engine) {
+	if !dsa.ValidEngine(engine) {
 		return nil, QueryStats{}, fmt.Errorf("server: unknown engine %d", int(engine))
 	}
 	s.mu.RLock()

@@ -58,7 +58,7 @@ func TestServerMatchesLibrary(t *testing.T) {
 	srv, st := newGridServer(t, 8, 8, 4, Config{CacheCapacity: 256})
 	oracle := newOracle(t, st)
 	rng := rand.New(rand.NewSource(3))
-	for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive} {
+	for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineDense} {
 		for q := 0; q < 15; q++ {
 			src := graph.NodeID(rng.Intn(64))
 			dst := graph.NodeID(rng.Intn(64))
@@ -96,7 +96,7 @@ func TestServerConnectedAllEngines(t *testing.T) {
 	srv, st := newGridServer(t, 6, 6, 3, Config{CacheCapacity: 256})
 	base := st.Fragmentation().Base()
 	rng := rand.New(rand.NewSource(5))
-	for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset} {
+	for _, engine := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset, dsa.EngineDense} {
 		for q := 0; q < 10; q++ {
 			src := graph.NodeID(rng.Intn(36))
 			dst := graph.NodeID(rng.Intn(36))
@@ -286,9 +286,9 @@ func TestHTTPEndpoints(t *testing.T) {
 	get("/query?src=0&dst=1&mode=sideways", http.StatusBadRequest, nil)
 	get("/query?src=0&dst=999", http.StatusBadRequest, nil)
 
-	// Pipelined mode over HTTP: reports the engine it actually runs
-	// (multi-source dijkstra) and refuses an explicit engine selection
-	// rather than silently ignoring it.
+	// Pipelined mode over HTTP: defaults to multi-source dijkstra,
+	// accepts the vector-seeded dense kernel, and refuses engines
+	// without a seeded primitive rather than silently ignoring them.
 	var pr QueryResponse
 	get("/query?src=0&dst=35&mode=pipelined", http.StatusOK, &pr)
 	if !pr.Reachable || pr.Cost == nil || math.Abs(*pr.Cost-want.Cost) > 1e-9 {
@@ -297,7 +297,22 @@ func TestHTTPEndpoints(t *testing.T) {
 	if pr.Engine != "dijkstra" {
 		t.Errorf("pipelined engine = %q, want dijkstra", pr.Engine)
 	}
+	var pd QueryResponse
+	get("/query?src=0&dst=35&mode=pipelined&engine=dense", http.StatusOK, &pd)
+	if !pd.Reachable || pd.Cost == nil || math.Abs(*pd.Cost-want.Cost) > 1e-9 {
+		t.Errorf("pipelined dense HTTP query = %+v, oracle cost %v", pd, want.Cost)
+	}
+	if pd.Engine != "dense" {
+		t.Errorf("pipelined dense engine = %q, want dense", pd.Engine)
+	}
+	// A pooled dense cost query shares the leg cache like any engine.
+	var dq QueryResponse
+	get("/query?src=0&dst=35&engine=dense", http.StatusOK, &dq)
+	if !dq.Reachable || dq.Cost == nil || math.Abs(*dq.Cost-want.Cost) > 1e-9 {
+		t.Errorf("dense HTTP query = %+v, oracle cost %v", dq, want.Cost)
+	}
 	get("/query?src=0&dst=35&mode=pipelined&engine=seminaive", http.StatusBadRequest, nil)
+	get("/query?src=0&dst=35&mode=pipelined&engine=bitset", http.StatusBadRequest, nil)
 
 	// Update round trip: insert then delete a shortcut.
 	post := func(body string, wantStatus int, into any) {
@@ -328,6 +343,27 @@ func TestHTTPEndpoints(t *testing.T) {
 	post(`{"op":"delete","fragment":0,"from":0,"to":35,"weight":0.5}`, http.StatusOK, &ur)
 	post(`{"op":"teleport","fragment":0,"from":0,"to":1}`, http.StatusBadRequest, nil)
 	post(`not json`, http.StatusBadRequest, nil)
+}
+
+// TestHTTPPipelinedHonorsDenseDefault: with a dense default engine,
+// mode=pipelined with no engine param runs dense (matching pooled
+// mode) instead of silently reverting to dijkstra.
+func TestHTTPPipelinedHonorsDenseDefault(t *testing.T) {
+	srv, _ := newGridServer(t, 6, 6, 3, Config{DefaultEngine: dsa.EngineDense, CacheCapacity: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/query?src=0&dst=35&mode=pipelined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Engine != "dense" || !qr.Reachable {
+		t.Errorf("pipelined with dense default = engine %q, reachable %v; want dense, true", qr.Engine, qr.Reachable)
+	}
 }
 
 // TestRunLoadAgainstServer exercises the load driver end to end: a

@@ -22,3 +22,8 @@ func shortestFrom(rel *relation.Relation, source graph.NodeID) (*relation.Relati
 func reachableFromBitset(rel *relation.Relation, source graph.NodeID) (*relation.Relation, tc.Stats, error) {
 	return tc.BitsetReachableFrom(rel, []graph.NodeID{source})
 }
+
+// denseCostFrom runs the source-restricted dense cost kernel.
+func denseCostFrom(rel *relation.Relation, source graph.NodeID) (*relation.Relation, tc.Stats, error) {
+	return tc.DenseCostFrom(rel, []graph.NodeID{source})
+}

@@ -277,13 +277,17 @@ func (c *Cluster) CentralizedElapsed(source graph.NodeID, engine dsa.Engine) (ti
 		_ = time.Since(t0)
 		sec := float64(len(dist)+base.NumEdges()) / c.cost.TupleRate
 		return time.Duration(sec * float64(time.Second)), nil
-	case dsa.EngineSemiNaive, dsa.EngineBitset:
+	case dsa.EngineSemiNaive, dsa.EngineBitset, dsa.EngineDense:
 		// Charge the engine's own work units on the full graph: derived
 		// tuples for the semi-naive fixpoint, derived component bits
-		// for the bitset kernel.
+		// for the bitset kernel, successful relaxations for the dense
+		// cost kernel.
 		kernel := shortestFrom
-		if engine == dsa.EngineBitset {
+		switch engine {
+		case dsa.EngineBitset:
 			kernel = reachableFromBitset
+		case dsa.EngineDense:
+			kernel = denseCostFrom
 		}
 		_, stats, err := kernel(relationFromBase(base), source)
 		if err != nil {

@@ -210,7 +210,7 @@ func TestCentralizedElapsed(t *testing.T) {
 		t.Fatal(err)
 	}
 	nodes := g.Nodes()
-	for _, e := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset} {
+	for _, e := range []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset, dsa.EngineDense} {
 		d, err := cl.CentralizedElapsed(nodes[0], e)
 		if err != nil {
 			t.Fatal(err)

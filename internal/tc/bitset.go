@@ -396,7 +396,7 @@ func BitsetReachableFrom(r *relation.Relation, sources []graph.NodeID) (*relatio
 	}
 	bg, ok := newBitGraph(pairs)
 	if !ok {
-		seed, err := pairs.SelectIn("src", relation.NodeSet(sources))
+		seed, err := pairs.SelectInKeys("src", relation.NodeKeySet(sources))
 		if err != nil {
 			return nil, st, err
 		}

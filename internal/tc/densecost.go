@@ -1,0 +1,350 @@
+package tc
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/relation"
+)
+
+// This file implements the dense cost-query kernel: the cost-capable
+// counterpart of the bitset reachability kernel. Where the relational
+// min-cost fixpoint hashes interface{} tuples per derived path per
+// round, this kernel renumbers the nodes to dense int32 ids once,
+// stores the edges in a CSR (compressed sparse row) adjacency with a
+// parallel float64 weight array, and answers entry-set-restricted
+// shortest-path cost queries with level-synchronous Bellman-Ford: each
+// round relaxes the out-edges of the improved frontier, and only
+// strictly improved nodes enter the next frontier. With non-negative
+// weights the frontier drains after at most diameter-many rounds (the
+// paper's own fixpoint bound, §2.1), so a fragment leg costs
+// O(rounds × frontier edges) array work instead of hash joins.
+//
+// One propagation pass serves a whole entry set: every distinct source
+// gets its own distance row, and the rows — mutually independent — are
+// fanned out over the GOMAXPROCS worker pool of bitset.go, the dense
+// analogue of "neither communication nor synchronization is required"
+// between per-source searches.
+
+// ErrNodesNotInt64 reports that an edge relation holds non-integer node
+// values, which the dense kernel cannot renumber. The exported wrappers
+// fall back to the generic relational fixpoint instead of surfacing it.
+var ErrNodesNotInt64 = errors.New("tc: dense kernel requires int64 node values")
+
+// DenseGraph is a CSR snapshot of an edge relation over int64 nodes
+// with non-negative float64 costs. Build once, query many times — the
+// disconnection set approach's sites keep one per augmented fragment.
+type DenseGraph struct {
+	ids      []int64         // dense index → original node id
+	idx      map[int64]int32 // original node id → dense index
+	rowStart []int32         // CSR row offsets, len(ids)+1
+	colIdx   []int32         // edge targets, grouped by source row
+	weight   []float64       // edge costs, parallel to colIdx
+}
+
+// NewDenseGraph interns the (src, dst, cost) relation into CSR form.
+// It validates like normalizeEdges (arity 3, float64 non-negative
+// costs) and returns ErrNodesNotInt64 when some node value is not an
+// int64 (callers fall back to the relational fixpoint, as the bitset
+// kernel does).
+func NewDenseGraph(r *relation.Relation) (*DenseGraph, error) {
+	if r.Arity() != 3 {
+		return nil, errors.New("tc: edge relation must have arity 3 (src, dst, cost)")
+	}
+	tuples := r.Tuples()
+	d := &DenseGraph{idx: make(map[int64]int32, len(tuples))}
+	intern := func(id int64) int32 {
+		if i, seen := d.idx[id]; seen {
+			return i
+		}
+		i := int32(len(d.ids))
+		d.idx[id] = i
+		d.ids = append(d.ids, id)
+		return i
+	}
+	type edge struct {
+		from, to int32
+		w        float64
+	}
+	edges := make([]edge, 0, len(tuples))
+	for _, t := range tuples {
+		from, ok1 := t[0].(int64)
+		to, ok2 := t[1].(int64)
+		if !ok1 || !ok2 {
+			return nil, ErrNodesNotInt64
+		}
+		c, ok := t[2].(float64)
+		if !ok {
+			return nil, errors.New("tc: edge cost is not float64")
+		}
+		if c < 0 {
+			return nil, errors.New("tc: negative edge cost not supported")
+		}
+		edges = append(edges, edge{from: intern(from), to: intern(to), w: c})
+	}
+	// Counting sort into CSR rows.
+	n := len(d.ids)
+	d.rowStart = make([]int32, n+1)
+	for _, e := range edges {
+		d.rowStart[e.from+1]++
+	}
+	for i := 0; i < n; i++ {
+		d.rowStart[i+1] += d.rowStart[i]
+	}
+	d.colIdx = make([]int32, len(edges))
+	d.weight = make([]float64, len(edges))
+	fill := make([]int32, n)
+	for _, e := range edges {
+		p := d.rowStart[e.from] + fill[e.from]
+		fill[e.from]++
+		d.colIdx[p] = e.to
+		d.weight[p] = e.w
+	}
+	return d, nil
+}
+
+// Nodes returns the number of distinct nodes in the snapshot.
+func (d *DenseGraph) Nodes() int { return len(d.ids) }
+
+// Edges returns the number of edges (parallel edges kept — relaxation
+// takes the minimum naturally).
+func (d *DenseGraph) Edges() int { return len(d.colIdx) }
+
+// costRow is the per-source scratch state of one propagation row.
+type costRow struct {
+	dist     []float64
+	inNext   []bool
+	frontier []int32
+	next     []int32
+}
+
+func newCostRow(n int) *costRow {
+	r := &costRow{dist: make([]float64, n), inNext: make([]bool, n)}
+	for i := range r.dist {
+		r.dist[i] = math.Inf(1)
+	}
+	return r
+}
+
+// reset clears the finite distances of the previous run (touching only
+// the visited nodes, not the whole row).
+func (r *costRow) reset(visited []int32) {
+	for _, v := range visited {
+		r.dist[v] = math.Inf(1)
+	}
+}
+
+// relaxFrom seeds the row with the out-edges of src (paths of at least
+// one edge, matching ShortestFrom's semantics) and runs the frontier
+// iteration. It returns the visited nodes (ascending insertion order is
+// NOT guaranteed), the number of rounds and the number of successful
+// relaxations.
+func (d *DenseGraph) relaxFrom(r *costRow, src int32) (visited []int32, rounds, relaxed int) {
+	r.frontier = r.frontier[:0]
+	for k := d.rowStart[src]; k < d.rowStart[src+1]; k++ {
+		v, w := d.colIdx[k], d.weight[k]
+		if w < r.dist[v] {
+			if math.IsInf(r.dist[v], 1) {
+				r.frontier = append(r.frontier, v)
+				visited = append(visited, v)
+			}
+			r.dist[v] = w
+			relaxed++
+		}
+	}
+	visited, rounds, relaxed2 := d.propagate(r, visited)
+	return visited, rounds, relaxed + relaxed2
+}
+
+// propagate drains the frontier: each round relaxes the out-edges of
+// every frontier node; strictly improved nodes form the next frontier.
+func (d *DenseGraph) propagate(r *costRow, visited []int32) ([]int32, int, int) {
+	rounds, relaxed := 0, 0
+	for len(r.frontier) > 0 {
+		rounds++
+		r.next = r.next[:0]
+		for _, u := range r.frontier {
+			du := r.dist[u]
+			for k := d.rowStart[u]; k < d.rowStart[u+1]; k++ {
+				v := d.colIdx[k]
+				nd := du + d.weight[k]
+				if nd < r.dist[v] {
+					if math.IsInf(r.dist[v], 1) {
+						visited = append(visited, v)
+					}
+					r.dist[v] = nd
+					relaxed++
+					if !r.inNext[v] {
+						r.inNext[v] = true
+						r.next = append(r.next, v)
+					}
+				}
+			}
+		}
+		for _, v := range r.next {
+			r.inNext[v] = false
+		}
+		r.frontier, r.next = r.next, r.frontier
+	}
+	return visited, rounds, relaxed
+}
+
+// costFact is one (dst, cost) result of a source row, in dense space.
+type costFact struct {
+	dst  int32
+	cost float64
+}
+
+// CostFrom computes the minimum path cost (over paths of at least one
+// edge) from every distinct present source to every node it reaches,
+// as a (src, dst, cost) relation — the same answer ShortestFrom gives,
+// in kernel time. Sources absent from the snapshot contribute nothing
+// (they have no out-edges); duplicates count once. Stats are in the
+// kernel's units: Iterations is the maximum frontier-round count over
+// all source rows (the critical-path analogue of fixpoint rounds),
+// DerivedTuples the total number of successful relaxations.
+func (d *DenseGraph) CostFrom(sources []graph.NodeID) (*relation.Relation, Stats) {
+	var st Stats
+	n := len(d.ids)
+	var srcIdx []int32
+	seen := make(map[int32]struct{}, len(sources))
+	for _, s := range sources {
+		i, present := d.idx[int64(s)]
+		if !present {
+			continue
+		}
+		if _, dup := seen[i]; dup {
+			continue
+		}
+		seen[i] = struct{}{}
+		srcIdx = append(srcIdx, i)
+	}
+	results := make([][]costFact, len(srcIdx))
+	rounds := make([]int, len(srcIdx))
+	var relaxed atomic.Int64
+	// One distance row per source; rows are independent, so chunks of
+	// sources fan out over the worker pool, each chunk reusing one
+	// scratch row.
+	bitsetPool(len(srcIdx), func(lo, hi int) {
+		row := newCostRow(n)
+		sum := 0
+		for si := lo; si < hi; si++ {
+			visited, r, rel := d.relaxFrom(row, srcIdx[si])
+			rounds[si] = r
+			sum += rel
+			facts := make([]costFact, 0, len(visited))
+			// Emit in ascending dense-id order for determinism.
+			for v := int32(0); v < int32(n); v++ {
+				if !math.IsInf(row.dist[v], 1) {
+					facts = append(facts, costFact{dst: v, cost: row.dist[v]})
+				}
+			}
+			results[si] = facts
+			row.reset(visited)
+		}
+		relaxed.Add(int64(sum))
+	})
+	st.DerivedTuples = int(relaxed.Load())
+	for _, r := range rounds {
+		if r > st.Iterations {
+			st.Iterations = r
+		}
+	}
+	out := relation.New(costSchema...)
+	for si, facts := range results {
+		src := d.ids[srcIdx[si]]
+		for _, f := range facts {
+			out.MustInsert(relation.Tuple{src, d.ids[f.dst], f.cost})
+		}
+	}
+	st.ResultTuples = out.Len()
+	return out, st
+}
+
+// CostVector runs one propagation seeded with the given (node, cost)
+// vector, allowing zero-edge paths: the result contains every node
+// reachable from a seed, including the seeds themselves at (at most)
+// their seed cost. Negative seed costs are ignored, mirroring
+// graph.ShortestPathsMulti. Seeds absent from the snapshot are carried
+// through at their seed cost — the CSR only knows edge endpoints, so an
+// absent seed is an isolated node, which the graph-backed search would
+// keep (a chain may enter and leave a fragment at the same border
+// node). This is the pipelined chain evaluation primitive, where the
+// running cost vector of the previous fragments seeds the next
+// fragment's search.
+func (d *DenseGraph) CostVector(seed map[graph.NodeID]float64) map[graph.NodeID]float64 {
+	row := newCostRow(len(d.ids))
+	out := make(map[graph.NodeID]float64, len(seed))
+	var visited []int32
+	row.frontier = row.frontier[:0]
+	for s, c := range seed {
+		if c < 0 {
+			continue
+		}
+		i, present := d.idx[int64(s)]
+		if !present {
+			out[s] = c
+			continue
+		}
+		if c < row.dist[i] {
+			if math.IsInf(row.dist[i], 1) {
+				row.frontier = append(row.frontier, i)
+				visited = append(visited, i)
+			}
+			row.dist[i] = c
+		}
+	}
+	visited, _, _ = d.propagate(row, visited)
+	for _, v := range visited {
+		out[graph.NodeID(d.ids[v])] = row.dist[v]
+	}
+	return out
+}
+
+// DenseCostFrom computes the entry-set-restricted shortest-path costs
+// of the edge relation with the dense kernel: the same (src, dst, cost)
+// relation as ShortestFrom, at CSR+Bellman-Ford speed. Non-int64 node
+// values fall back to the relational fixpoint.
+func DenseCostFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relation, Stats, error) {
+	var st Stats
+	d, err := NewDenseGraph(r)
+	if errors.Is(err, ErrNodesNotInt64) {
+		edges, err := normalizeEdges(r)
+		if err != nil {
+			return nil, st, err
+		}
+		seed, err := edges.SelectInKeys("src", relation.NodeKeySet(sources))
+		if err != nil {
+			return nil, st, err
+		}
+		return shortestFixpoint(seed, edges, &st)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	out, st := d.CostFrom(sources)
+	return out, st, nil
+}
+
+// DenseCostClosure computes the full min-cost closure (every connected
+// ordered pair) with the dense kernel, the counterpart of
+// ShortestClosure. Non-int64 node values fall back to the relational
+// fixpoint.
+func DenseCostClosure(r *relation.Relation) (*relation.Relation, Stats, error) {
+	var st Stats
+	d, err := NewDenseGraph(r)
+	if errors.Is(err, ErrNodesNotInt64) {
+		return ShortestClosure(r)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	sources := make([]graph.NodeID, len(d.ids))
+	for i, id := range d.ids {
+		sources[i] = graph.NodeID(id)
+	}
+	out, st := d.CostFrom(sources)
+	return out, st, nil
+}

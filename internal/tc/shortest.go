@@ -62,7 +62,7 @@ func ShortestFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relat
 	if err != nil {
 		return nil, st, err
 	}
-	seed, err := edges.SelectIn("src", relation.NodeSet(sources))
+	seed, err := edges.SelectInKeys("src", relation.NodeKeySet(sources))
 	if err != nil {
 		return nil, st, err
 	}
@@ -71,12 +71,35 @@ func ShortestFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relat
 
 // shortestFixpoint runs the min-cost delta iteration from seed over
 // edges; both have schema (src, dst, cost).
+//
+// The known set is kept as a (src, dst) → best-cost index that lives
+// across rounds and is updated incrementally — the previous
+// implementation rebuilt the whole index (re-encoding every known
+// tuple) and re-aggregated the merged relation once per round. The
+// final relation lists pairs in first-appearance order with their best
+// cost, exactly what the Union+MinBy chain produced.
 func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Relation, Stats, error) {
-	known, err := seed.MinBy("cost", "src", "dst")
+	seedMin, err := seed.MinBy("cost", "src", "dst")
 	if err != nil {
 		return nil, *st, err
 	}
-	delta := known
+	// entries holds one best (src, dst, cost) per pair in
+	// first-appearance order; index maps encoded (src, dst) keys to
+	// positions in entries.
+	type entry struct {
+		src, dst relation.Value
+		cost     float64
+	}
+	var entries []entry
+	index := make(map[string]int, seedMin.Len())
+	var buf []byte
+	for _, t := range seedMin.Tuples() {
+		buf = relation.Tuple{t[0], t[1]}.AppendKey(buf[:0])
+		index[string(buf)] = len(entries)
+		entries = append(entries, entry{src: t[0], dst: t[1], cost: t[2].(float64)})
+	}
+
+	delta := seedMin
 	renamed, err := edges.Rename("mid", "dst2", "cost2")
 	if err != nil {
 		return nil, *st, err
@@ -88,36 +111,47 @@ func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Rela
 			return nil, *st, err
 		}
 		st.DerivedTuples += joined.Len()
-		// (src, dst, cost, dst2, cost2) → (src, dst2, cost+cost2).
-		cand := relation.New(costSchema...)
+		// Fold the joined (src, dst, cost, dst2, cost2) tuples — Join
+		// drops the right-side join attribute mid — into the
+		// per-(src, dst2) round minimum, in first-appearance order.
+		var round []entry
+		roundPos := make(map[string]int) // key → position in round
 		for _, t := range joined.Tuples() {
-			cand.MustInsert(relation.Tuple{t[0], t[3], t[2].(float64) + t[4].(float64)})
-		}
-		cand, err = cand.MinBy("cost", "src", "dst")
-		if err != nil {
-			return nil, *st, err
-		}
-		// Keep strict improvements over the known costs.
-		knownCost := indexCosts(known)
-		improved := relation.New(costSchema...)
-		for _, t := range cand.Tuples() {
-			k := relation.Tuple{t[0], t[1]}.Key()
-			if old, ok := knownCost[k]; !ok || t[2].(float64) < old {
-				improved.MustInsert(t)
+			total := t[2].(float64) + t[4].(float64)
+			buf = relation.Tuple{t[0], t[3]}.AppendKey(buf[:0])
+			if pos, ok := roundPos[string(buf)]; ok {
+				if total < round[pos].cost {
+					round[pos].cost = total
+				}
+				continue
 			}
+			roundPos[string(buf)] = len(round)
+			round = append(round, entry{src: t[0], dst: t[3], cost: total})
+		}
+		// Commit strict improvements over the known costs; they form the
+		// next delta.
+		improved := relation.New(costSchema...)
+		for _, c := range round {
+			buf = relation.Tuple{c.src, c.dst}.AppendKey(buf[:0])
+			if pos, ok := index[string(buf)]; ok {
+				if c.cost >= entries[pos].cost {
+					continue
+				}
+				entries[pos].cost = c.cost
+			} else {
+				index[string(buf)] = len(entries)
+				entries = append(entries, c)
+			}
+			improved.MustInsert(relation.Tuple{c.src, c.dst, c.cost})
 		}
 		if improved.Len() == 0 {
 			break
 		}
-		merged, err := known.Union(improved)
-		if err != nil {
-			return nil, *st, err
-		}
-		known, err = merged.MinBy("cost", "src", "dst")
-		if err != nil {
-			return nil, *st, err
-		}
 		delta = improved
+	}
+	known := relation.New(costSchema...)
+	for _, e := range entries {
+		known.MustInsert(relation.Tuple{e.src, e.dst, e.cost})
 	}
 	st.ResultTuples = known.Len()
 	return known, *st, nil
@@ -126,8 +160,10 @@ func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Rela
 // indexCosts builds a (src, dst) → cost map from a cost relation.
 func indexCosts(r *relation.Relation) map[string]float64 {
 	m := make(map[string]float64, r.Len())
+	var buf []byte
 	for _, t := range r.Tuples() {
-		m[relation.Tuple{t[0], t[1]}.Key()] = t[2].(float64)
+		buf = relation.Tuple{t[0], t[1]}.AppendKey(buf[:0])
+		m[string(buf)] = t[2].(float64)
 	}
 	return m
 }

@@ -133,8 +133,15 @@ func SemiNaiveClosure(r *relation.Relation) (*relation.Relation, Stats, error) {
 
 // semiNaivePairs runs the delta iteration from the given seed pairs over
 // the given edge pairs. Both relations must have schema (src, dst).
+//
+// The known set is maintained as one relation.Dedup that lives across
+// rounds: each round's step output is filtered against it in a single
+// pass (Dedup.Filter is Distinct + Difference combined) and the new
+// tuples are appended in place, instead of re-encoding the whole known
+// relation per round through Distinct/Difference/Union chains.
 func semiNaivePairs(seed, edges *relation.Relation, st *Stats) (*relation.Relation, Stats, error) {
-	known := seed.Distinct()
+	dedup := relation.NewDedup()
+	known := dedup.Filter(seed)
 	delta := known
 	renamed, err := edges.Rename("mid", "dst2")
 	if err != nil {
@@ -155,12 +162,8 @@ func semiNaivePairs(seed, edges *relation.Relation, st *Stats) (*relation.Relati
 		if err != nil {
 			return nil, *st, err
 		}
-		delta, err = stepped.Distinct().Difference(known)
-		if err != nil {
-			return nil, *st, err
-		}
-		known, err = known.Union(delta)
-		if err != nil {
+		delta = dedup.Filter(stepped)
+		if err := known.Extend(delta); err != nil {
 			return nil, *st, err
 		}
 	}
@@ -294,7 +297,7 @@ func ReachableFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Rela
 	if err != nil {
 		return nil, st, err
 	}
-	seed, err := edges.SelectIn("src", relation.NodeSet(sources))
+	seed, err := edges.SelectInKeys("src", relation.NodeKeySet(sources))
 	if err != nil {
 		return nil, st, err
 	}
