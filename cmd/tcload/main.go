@@ -11,6 +11,7 @@
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -repeat 2 -expect-reachable -min-hit-rate 0.05
 //	tcload -addr http://127.0.0.1:8642 -pairs queries.txt -mode connected -engine bitset
+//	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -api v1
 //
 // The -pairs file holds one "src dst" pair per line; # starts a
 // comment.
@@ -34,6 +35,7 @@ func main() {
 		nodes      = flag.Int("nodes", 0, "random src/dst drawn from [0, nodes); 0 = ask the server's /stats")
 		pairsFile  = flag.String("pairs", "", "file with explicit 'src dst' lines (overrides -n/-nodes)")
 		mode       = flag.String("mode", "query", "query (shortest path) or connected (reachability)")
+		api        = flag.String("api", "legacy", "wire surface: legacy (GET /query) or v1 (POST /v1/query)")
 		engine     = flag.String("engine", "", "per-request engine (empty = server default)")
 		seed       = flag.Int64("seed", 1, "random workload seed")
 		repeat     = flag.Int("repeat", 1, "passes over the same workload (>1 exercises the leg cache)")
@@ -49,6 +51,7 @@ func main() {
 		Nodes:           *nodes,
 		Engine:          *engine,
 		Mode:            *mode,
+		API:             *api,
 		Seed:            *seed,
 		Repeat:          *repeat,
 		ExpectReachable: *expectUp,

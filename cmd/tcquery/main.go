@@ -1,43 +1,68 @@
 // Command tcquery answers transitive-closure queries over a fragmented
-// graph with the disconnection set approach: it builds the
-// complementary information, plans the fragment chains, runs the
-// per-site subqueries (in parallel with -parallel) and assembles the
+// graph through the public tcq facade: it builds the complementary
+// information, validates the request, lets the planner pick the engine
+// (or honours -engine), runs the per-site subqueries and assembles the
 // answer, reporting the paper's performance quantities along the way.
+//
+// Sources and targets are sets: -src and -dst accept comma-separated
+// node lists and every (source, target) pair is answered.
 //
 // Usage:
 //
 //	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97
-//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -parallel -engine seminaive
+//	tcquery -graph graph.txt -frag frags.txt -src 3,4 -dst 97,98 -mode cost -limit 2
+//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -mode pipelined -engine dense
+//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -mode connectivity
 //	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -phe 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment"
 	"repro/internal/graph"
 	"repro/internal/phe"
+	"repro/pkg/tcq"
 )
 
 func main() {
 	var (
 		graphFile = flag.String("graph", "", "graph file (required)")
 		fragFile  = flag.String("frag", "", "fragmentation file (required)")
-		src       = flag.Int("src", -1, "source node (required)")
-		dst       = flag.Int("dst", -1, "target node (required)")
-		engine    = flag.String("engine", "dijkstra", "local engine: dijkstra, seminaive, bitset or dense (bitset answers connectivity only)")
-		parallel  = flag.Bool("parallel", false, "run per-site subqueries concurrently")
-		highway   = flag.Int("phe", -1, "use parallel hierarchical evaluation with this highway fragment")
+		src       = flag.String("src", "", "source node or comma-separated node set (required)")
+		dst       = flag.String("dst", "", "target node or comma-separated node set (required)")
+		mode      = flag.String("mode", "cost", "query mode: connectivity, cost or pipelined")
+		engine    = flag.String("engine", "auto", "engine: auto (planner decides), dijkstra, seminaive, bitset or dense")
+		limit     = flag.Int("limit", 0, "cap the number of (source, target) answers (0 = all)")
+		highway   = flag.Int("phe", -1, "use parallel hierarchical evaluation with this highway fragment (single-pair queries)")
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print the plan and per-site work")
-		showPath  = flag.Bool("path", false, "reconstruct and print the actual node route")
+		showPath  = flag.Bool("path", false, "reconstruct and print the actual node route (single-pair cost queries)")
 	)
 	flag.Parse()
-	if *graphFile == "" || *fragFile == "" || *src < 0 || *dst < 0 {
+	if *graphFile == "" || *fragFile == "" || *src == "" || *dst == "" {
 		fatal(fmt.Errorf("-graph, -frag, -src and -dst are required"))
+	}
+	sources, err := parseNodeSet(*src)
+	if err != nil {
+		fatal(fmt.Errorf("-src: %v", err))
+	}
+	targets, err := parseNodeSet(*dst)
+	if err != nil {
+		fatal(fmt.Errorf("-dst: %v", err))
+	}
+	qmode, err := tcq.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := tcq.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
 	}
 
 	gf, err := os.Open(*graphFile)
@@ -59,105 +84,128 @@ func main() {
 		fatal(err)
 	}
 
-	eng, err := dsa.ParseEngine(*engine)
+	client, err := tcq.Build(fr, tcq.BuildOptions{MaxChains: *maxChains})
 	if err != nil {
 		fatal(err)
 	}
-
-	store, err := dsa.Build(fr, dsa.Options{MaxChains: *maxChains})
-	if err != nil {
-		fatal(err)
-	}
-	prep := store.Preprocessing()
+	defer client.Close()
+	prep := client.Preprocessing()
 	fmt.Printf("store: %d sites, %d disconnection sets, loosely connected: %v\n",
-		len(store.Sites()), prep.DisconnectionSets, store.LooselyConnected())
+		client.Sites(), prep.DisconnectionSets, client.LooselyConnected())
 	fmt.Printf("preprocessing: %d global searches, %d complementary facts\n",
 		prep.DijkstraRuns, prep.PairsStored)
 
-	// The bitset engine is connectivity-only: answer the paper's
-	// "Is A connected to B?" query instead of the cost query.
-	if eng == dsa.EngineBitset {
-		if *verbose || *showPath {
-			fmt.Fprintln(os.Stderr, "tcquery: -v and -path are not supported with -engine bitset (connectivity only)")
+	req := tcq.Request{Sources: sources, Targets: targets, Mode: qmode, Engine: eng, Limit: *limit}
+	ctx := context.Background()
+
+	// The hierarchical evaluator routes through a highway fragment; it
+	// answers single pairs with a planner-resolved engine and pooled
+	// (non-pipelined) evaluation.
+	if *highway >= 0 {
+		if len(sources) != 1 || len(targets) != 1 {
+			fatal(fmt.Errorf("-phe answers single-pair queries; got %d sources, %d targets", len(sources), len(targets)))
 		}
-		var connected bool
-		if *highway >= 0 {
-			h, err := phe.New(store, *highway)
-			if err != nil {
-				fatal(err)
-			}
-			connected, err = h.Connected(graph.NodeID(*src), graph.NodeID(*dst), eng)
-			if err != nil {
-				fatal(err)
-			}
-		} else if *parallel {
-			connected, err = store.ConnectedParallel(graph.NodeID(*src), graph.NodeID(*dst), eng)
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			connected, err = store.Connected(graph.NodeID(*src), graph.NodeID(*dst), eng)
-			if err != nil {
-				fatal(err)
-			}
+		if qmode == tcq.ModePipelined {
+			fatal(fmt.Errorf("-phe does not support -mode pipelined (hierarchical legs run pooled)"))
 		}
-		if connected {
-			fmt.Printf("%d and %d are connected\n", *src, *dst)
+		if *verbose || *showPath || *limit > 0 {
+			fmt.Fprintln(os.Stderr, "tcquery: -v, -path and -limit are ignored with -phe")
+		}
+		ex, err := client.Plan(req)
+		if err != nil {
+			fatal(err)
+		}
+		h, err := phe.New(client.Store(), *highway)
+		if err != nil {
+			fatal(err)
+		}
+		s, t := graph.NodeID(sources[0]), graph.NodeID(targets[0])
+		if qmode == tcq.ModeConnectivity {
+			connected, err := h.ConnectedNamed(s, t, ex.Engine.String())
+			if err != nil {
+				fatal(err)
+			}
+			printConnected(sources[0], targets[0], connected)
 		} else {
-			fmt.Printf("%d and %d are NOT connected\n", *src, *dst)
+			res, err := h.QueryNamed(s, t, ex.Engine.String())
+			if err != nil {
+				fatal(err)
+			}
+			if !res.Reachable {
+				printConnected(sources[0], targets[0], false)
+			} else {
+				fmt.Printf("shortest path %d -> %d: cost %.4f via fragment chain %v\n",
+					sources[0], targets[0], res.Cost, res.BestChain)
+			}
 		}
 		return
 	}
 
-	var res *dsa.Result
-	switch {
-	case *highway >= 0:
-		h, err := phe.New(store, *highway)
-		if err != nil {
-			fatal(err)
+	res, err := client.Query(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan: %s (%s)\n", res.Explain.Canonical(), res.Explain.Reason)
+	for _, ans := range res.Answers {
+		switch {
+		case qmode == tcq.ModeConnectivity:
+			printConnected(ans.Source, ans.Target, ans.Reachable)
+		case !ans.Reachable:
+			printConnected(ans.Source, ans.Target, false)
+		default:
+			fmt.Printf("shortest path %d -> %d: cost %.4f via fragment chain %v\n",
+				ans.Source, ans.Target, ans.Cost, ans.BestChain)
 		}
-		res, err = h.Query(graph.NodeID(*src), graph.NodeID(*dst), eng)
-		if err != nil {
-			fatal(err)
-		}
-	case *parallel:
-		res, err = store.QueryParallel(graph.NodeID(*src), graph.NodeID(*dst), eng)
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		res, err = store.Query(graph.NodeID(*src), graph.NodeID(*dst), eng)
-		if err != nil {
-			fatal(err)
+		if *verbose {
+			fmt.Printf("  chains considered: %d, same fragment: %v, elapsed: %v\n",
+				ans.ChainsConsidered, ans.SameFragment, ans.Elapsed)
+			fmt.Printf("  assembly: %d joins, largest operand %d tuples; tuples shipped: %d\n",
+				ans.AssemblyJoins, ans.MaxOperand, ans.TuplesShipped)
+			for id, w := range ans.PerSite {
+				fmt.Printf("  site %d: %d legs, %d iterations, %d derived tuples, busy %v\n",
+					id, w.Legs, w.Stats.Iterations, w.Stats.DerivedTuples, w.Elapsed)
+			}
 		}
 	}
+	if res.LimitHit {
+		fmt.Printf("(limit %d hit: %d of %d pairs answered)\n", *limit, len(res.Answers), res.Explain.Pairs)
+	}
+	fmt.Printf("answered %d pair(s) in %v\n", len(res.Answers), res.Elapsed)
 
-	if !res.Reachable {
-		fmt.Printf("%d and %d are NOT connected\n", *src, *dst)
-	} else {
-		fmt.Printf("shortest path %d -> %d: cost %.4f via fragment chain %v\n",
-			*src, *dst, res.Cost, res.BestChain)
-	}
-	fmt.Printf("chains considered: %d, same fragment: %v, elapsed: %v\n",
-		res.ChainsConsidered, res.SameFragment, res.Elapsed)
-	if *showPath && res.Reachable && *highway < 0 {
-		_, route, err := store.QueryPath(graph.NodeID(*src), graph.NodeID(*dst))
-		if err != nil {
-			fatal(err)
-		}
-		if route != nil {
+	if *showPath && qmode != tcq.ModeConnectivity && len(sources) == 1 && len(targets) == 1 {
+		if ans := res.Answers[0]; ans.Reachable {
+			_, route, err := client.QueryPath(ctx, sources[0], targets[0])
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("route: %v\n", route.Nodes)
 		}
 	}
-	if *verbose {
-		fmt.Printf("assembly: %d joins, largest operand %d tuples\n",
-			res.Assembly.Joins, res.Assembly.MaxOperand)
-		fmt.Printf("messages: %d, tuples shipped: %d, critical path: %v\n",
-			res.MessagesSent, res.TuplesShipped, res.CriticalPath)
-		for id, w := range res.PerSite {
-			fmt.Printf("  site %d: %d legs, %d iterations, %d derived tuples, busy %v\n",
-				id, w.Legs, w.Stats.Iterations, w.Stats.DerivedTuples, w.Elapsed)
+}
+
+// parseNodeSet parses a comma-separated node list.
+func parseNodeSet(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		id, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad node %q: %v", p, err)
 		}
+		if id < 0 {
+			return nil, fmt.Errorf("negative node %d", id)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// printConnected renders a connectivity answer.
+func printConnected(src, dst int, connected bool) {
+	if connected {
+		fmt.Printf("%d and %d are connected\n", src, dst)
+	} else {
+		fmt.Printf("%d and %d are NOT connected\n", src, dst)
 	}
 }
 

@@ -11,8 +11,10 @@
 //	tcserver -grid 32x32 -fragments 4 -engine dense -cache 4096
 //	tcserver -grid 64x64 -fragments 8 -pprof   # /debug/pprof/ exposed
 //
-// Endpoints: /query, /connected, /update, /stats, /healthz (see the
-// README's serving section for schemas).
+// Endpoints: POST /v1/query and POST /v1/batch (the versioned facade
+// API: source/target sets, modes, auto-planned engines, typed error
+// codes), plus the legacy shims /query, /connected, and /update,
+// /stats, /healthz (see the README's serving section for schemas).
 package main
 
 import (
@@ -28,12 +30,12 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment"
 	"repro/internal/fragment/linear"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/pkg/tcq"
 )
 
 func main() {
@@ -45,7 +47,7 @@ func main() {
 		diag      = flag.Float64("diag", 0.1, "diagonal shortcut probability for the generated grid")
 		seed      = flag.Int64("seed", 1, "seed for the generated grid")
 		listen    = flag.String("listen", ":8642", "listen address")
-		engine    = flag.String("engine", "dijkstra", "default engine: dijkstra, seminaive, bitset or dense")
+		engine    = flag.String("engine", "auto", "default engine for legacy requests: auto (planner decides), dijkstra, seminaive, bitset or dense")
 		problem   = flag.String("problem", "shortestpath", "precomputed problem: shortestpath or reachability")
 		cacheCap  = flag.Int("cache", 1024, "leg-result cache capacity in entries (0 disables)")
 		workers   = flag.Int("site-workers", 1, "worker goroutines per site")
@@ -54,11 +56,11 @@ func main() {
 	)
 	flag.Parse()
 
-	eng, err := dsa.ParseEngine(*engine)
+	eng, err := tcq.ParseEngine(*engine)
 	if err != nil {
 		fatal(err)
 	}
-	prob, err := dsa.ParseProblem(*problem)
+	prob, err := tcq.ParseProblem(*problem)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 	}
 
 	buildStart := time.Now()
-	store, err := dsa.Build(fr, dsa.Options{MaxChains: *maxChains, Problem: prob})
+	store, err := tcq.BuildStore(fr, tcq.BuildOptions{MaxChains: *maxChains, Problem: prob})
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -15,13 +16,13 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment"
 	"repro/internal/fragment/bea"
 	"repro/internal/fragment/center"
 	"repro/internal/fragment/linear"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 func main() {
@@ -68,36 +69,41 @@ func main() {
 			nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))],
 		}
 	}
+	ctx := context.Background()
 	for _, c := range contenders {
 		ch := fragment.Measure(c.fr)
-		store, err := dsa.Build(c.fr, dsa.Options{MaxChains: 64})
+		client, err := tcq.Build(c.fr, tcq.BuildOptions{MaxChains: 64})
 		if err != nil {
 			log.Fatal(err)
 		}
 		var total time.Duration
 		maxOperand := 0
 		for _, q := range queries {
-			res, err := store.QueryParallel(q[0], q[1], dsa.EngineDijkstra)
+			res, err := client.Query(ctx, tcq.Request{
+				Sources: []int{int(q[0])}, Targets: []int{int(q[1])}, Mode: tcq.ModeCost,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			total += res.Elapsed
-			if res.Assembly.MaxOperand > maxOperand {
-				maxOperand = res.Assembly.MaxOperand
+			ans := res.Answers[0]
+			total += ans.Elapsed
+			if ans.MaxOperand > maxOperand {
+				maxOperand = ans.MaxOperand
 			}
 			// Every fragmentation must give the same (exact) answer when
 			// loosely connected; check against the global search.
-			if ch.LooselyConnected && res.Reachable {
-				if want := g.Distance(q[0], q[1]); math.Abs(want-res.Cost) > 1e-9 {
-					log.Fatalf("%s: %v vs global %v", c.name, res.Cost, want)
+			if ch.LooselyConnected && ans.Reachable {
+				if want := g.Distance(q[0], q[1]); math.Abs(want-ans.Cost) > 1e-9 {
+					log.Fatalf("%s: %v vs global %v", c.name, ans.Cost, want)
 				}
 			}
 		}
 		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.2f\t%d\t%d\t%d\t%v\t%d\n",
 			c.name, ch.F, ch.DS, ch.AF, ch.ADS, ch.NumFragments, ch.Cycles,
-			store.Preprocessing().PairsStored,
+			client.Preprocessing().PairsStored,
 			(total / time.Duration(len(queries))).Round(time.Microsecond),
 			maxOperand)
+		client.Close()
 	}
 	tw.Flush()
 	fmt.Println("\nsmall DS ⇒ few complementary facts and small assembly operands;")

@@ -10,14 +10,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment"
 	"repro/internal/graph"
 	"repro/internal/relation"
 	"repro/internal/tc"
+	"repro/pkg/tcq"
 )
 
 // Parts. Supplier A builds vehicles, supplier B drivetrains, supplier C
@@ -125,21 +126,29 @@ func main() {
 	for p, ds := range fr.DisconnectionSets() {
 		fmt.Printf("suppliers %d and %d share: %s\n", p.I, p.J, names[ds[0]])
 	}
-	store, err := dsa.Build(fr, dsa.Options{})
+	client, err := tcq.Build(fr, tcq.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
+	ctx := context.Background()
 
 	// The same question, answered by the three supplier sites in
 	// parallel: supplier A resolves truck -> gearbox, supplier B
-	// gearbox -> controller, supplier C controller -> chip.
-	res, err := store.QueryParallel(Truck, Chip, dsa.EngineSemiNaive)
+	// gearbox -> controller, supplier C controller -> chip. The request
+	// forces the paper's relational semi-naive engine — the planner
+	// would pick Dijkstra at this size.
+	res, err := client.Query(ctx, tcq.Request{
+		Sources: []int{Truck}, Targets: []int{Chip},
+		Mode: tcq.ModeCost, Engine: tcq.EngineSemiNaive,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ans := res.Answers[0]
 	fmt.Printf("fragmented: truck -> chip costs %.0f across supplier sites %v\n",
-		res.Cost, res.BestChain)
-	ok, err := store.Connected(Van, Bearing, dsa.EngineDijkstra)
+		ans.Cost, ans.BestChain)
+	ok, err := client.Connected(ctx, Van, Bearing)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,7 +156,7 @@ func main() {
 
 	// Direction matters in a parts hierarchy: nothing "contains" a
 	// truck.
-	rev, err := store.Connected(Chip, Truck, dsa.EngineDijkstra)
+	rev, err := client.Connected(ctx, Chip, Truck)
 	if err != nil {
 		log.Fatal(err)
 	}

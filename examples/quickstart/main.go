@@ -1,17 +1,19 @@
 // Quickstart: generate a transportation graph, fragment it, deploy the
-// disconnection set approach, and answer one shortest-path query — the
-// whole pipeline of the ICDE'93 paper in ~60 lines.
+// disconnection set approach through the public tcq facade, and answer
+// one shortest-path query — the whole pipeline of the ICDE'93 paper in
+// ~60 lines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment"
 	"repro/internal/fragment/bea"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 func main() {
@@ -36,14 +38,15 @@ func main() {
 	c := fragment.Measure(fr)
 	fmt.Printf("fragmentation: %v\n", c)
 
-	// 3. Deploy: precompute the complementary information (global
-	// shortest paths between disconnection-set nodes, stored at both
-	// adjacent sites).
-	store, err := dsa.Build(fr, dsa.Options{})
+	// 3. Deploy through the facade: precompute the complementary
+	// information (global shortest paths between disconnection-set
+	// nodes, stored at both adjacent sites) and open a client.
+	client, err := tcq.Build(fr, tcq.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	prep := store.Preprocessing()
+	defer client.Close()
+	prep := client.Preprocessing()
 	fmt.Printf("preprocessing: %d global searches, %d complementary facts\n",
 		prep.DijkstraRuns, prep.PairsStored)
 
@@ -60,25 +63,27 @@ func main() {
 	}
 	src := interior(0)
 	dst := interior(fr.NumFragments() - 1)
-	plan, err := store.NewPlan(src, dst)
+	req := tcq.Request{Sources: []int{int(src)}, Targets: []int{int(dst)}, Mode: tcq.ModeCost}
+	explain, err := client.Plan(req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("plan: %d chain(s) over sites %v\n", len(plan.Chains), plan.SitesInvolved())
+	fmt.Printf("plan: %s — %s\n", explain.Canonical(), explain.Reason)
 
-	res, err := store.QueryParallel(src, dst, dsa.EngineDijkstra)
+	res, err := client.Query(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !res.Reachable {
+	ans := res.Answers[0]
+	if !ans.Reachable {
 		fmt.Printf("%d and %d are not connected\n", src, dst)
 		return
 	}
-	fmt.Printf("shortest path %d -> %d costs %.2f via fragment chain %v\n",
-		src, dst, res.Cost, res.BestChain)
+	fmt.Printf("shortest path %d -> %d costs %.2f via fragment chain %v (%d sites, %d chain(s))\n",
+		src, dst, ans.Cost, ans.BestChain, ans.Sites, ans.ChainsConsidered)
 	fmt.Printf("assembly: %d joins, largest operand %d tuples (the paper's \"very small relations\")\n",
-		res.Assembly.Joins, res.Assembly.MaxOperand)
+		ans.AssemblyJoins, ans.MaxOperand)
 
 	// 5. Sanity: the answer equals a global single-machine search.
-	fmt.Printf("global Dijkstra agrees: %v\n", g.Distance(src, dst) == res.Cost)
+	fmt.Printf("global Dijkstra agrees: %v\n", g.Distance(src, dst) == ans.Cost)
 }

@@ -7,12 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 // Station IDs. Each country owns a block of IDs.
@@ -106,34 +107,37 @@ func main() {
 		log.Fatal("the country chain should be loosely connected")
 	}
 
-	store, err := dsa.Build(fr, dsa.Options{})
+	client, err := tcq.Build(fr, tcq.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
+	ctx := context.Background()
 
 	// The headline query: Amsterdam → Milan. Three subqueries — one per
 	// country — run in parallel; the final joins assemble the answer.
-	res, err := store.QueryParallel(Amsterdam, Milan, dsa.EngineDijkstra)
+	// The planner picks the engine (per-entry Dijkstra at this scale).
+	res, err := client.Query(ctx, tcq.Request{
+		Sources: []int{Amsterdam}, Targets: []int{Milan}, Mode: tcq.ModeCost,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nAmsterdam -> Milan: %.0f minutes via %v\n",
-		res.Cost, chainNames(res.BestChain, countries))
+	ans := res.Answers[0]
+	fmt.Printf("\nAmsterdam -> Milan: %.0f minutes via %v (engine: %s)\n",
+		ans.Cost, chainNames(ans.BestChain, countries), res.Explain.Engine)
 	fmt.Printf("sites involved: %d, assembly joins: %d, largest operand: %d tuples\n",
-		len(res.PerSite), res.Assembly.Joins, res.Assembly.MaxOperand)
-	if want := g.Distance(Amsterdam, Milan); want != res.Cost {
-		log.Fatalf("disconnection set approach disagrees with global search: %v vs %v", res.Cost, want)
+		ans.Sites, ans.AssemblyJoins, ans.MaxOperand)
+	if want := g.Distance(Amsterdam, Milan); want != ans.Cost {
+		log.Fatalf("disconnection set approach disagrees with global search: %v vs %v", ans.Cost, want)
 	}
 
 	// The passenger wants the itinerary, not just the fare: reconstruct
 	// the actual station sequence from the per-site predecessor trees
 	// and the complementary path segments.
-	_, route, err := store.QueryPath(Amsterdam, Milan)
+	_, route, err := client.QueryPath(ctx, Amsterdam, Milan)
 	if err != nil {
 		log.Fatal(err)
-	}
-	if route == nil {
-		log.Fatal("no route reconstructed")
 	}
 	if err := route.Validate(g); err != nil {
 		log.Fatal(err)
@@ -146,12 +150,15 @@ func main() {
 	// domestic route wins — but the *decision* requires knowing the
 	// German alternative, which the Dutch site has precomputed in its
 	// complementary information. One site answers, correctly.
-	dom, err := store.Query(Eindhoven, Maastricht, dsa.EngineDijkstra)
+	domRes, err := client.Query(ctx, tcq.Request{
+		Sources: []int{Eindhoven}, Targets: []int{Maastricht}, Mode: tcq.ModeCost,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	dom := domRes.Answers[0]
 	fmt.Printf("\nEindhoven -> Maastricht: %.0f minutes, same-fragment plan: %v, sites used: %d\n",
-		dom.Cost, dom.SameFragment, len(dom.PerSite))
+		dom.Cost, dom.SameFragment, dom.Sites)
 
 	// And a case where the foreign detour genuinely wins: make the
 	// domestic Eindhoven–Maastricht track slow (engineering works, 200
@@ -176,16 +183,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store2, err := dsa.Build(fr2, dsa.Options{})
+	client2, err := tcq.Build(fr2, tcq.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	slow, err := store2.Query(Eindhoven, Maastricht, dsa.EngineDijkstra)
+	defer client2.Close()
+	slowRes, err := client2.Query(ctx, tcq.Request{
+		Sources: []int{Eindhoven}, Targets: []int{Maastricht}, Mode: tcq.ModeCost,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	slow := slowRes.Answers[0]
 	fmt.Printf("with works on the domestic track: %.0f minutes (global says %.0f), sites used: %d\n",
-		slow.Cost, g2.Distance(Eindhoven, Maastricht), len(slow.PerSite))
+		slow.Cost, g2.Distance(Eindhoven, Maastricht), slow.Sites)
 	fmt.Println("the route crosses Germany, yet only the Dutch site computed")
 }
 

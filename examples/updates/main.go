@@ -12,14 +12,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/dsa"
 	"repro/internal/fragment/linear"
 	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 func main() {
@@ -34,23 +34,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	store, err := dsa.Build(res.Fragmentation, dsa.Options{})
+	client, err := tcq.Build(res.Fragmentation, tcq.BuildOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	prep := store.Preprocessing()
-	fmt.Printf("deployed %d sites over %v\n", len(store.Sites()), g)
+	defer client.Close()
+	ctx := context.Background()
+	prep := client.Preprocessing()
+	fmt.Printf("deployed %d sites over %v\n", client.Sites(), g)
 	fmt.Printf("initial preprocessing: %d global searches, %d complementary facts\n\n",
 		prep.DijkstraRuns, prep.PairsStored)
 
 	nodes := g.Nodes()
-	src, dst := nodes[0], nodes[len(nodes)-1]
+	src, dst := int(nodes[0]), int(nodes[len(nodes)-1])
+	costReq := tcq.Request{Sources: []int{src}, Targets: []int{dst}, Mode: tcq.ModeCost}
 
 	// Baseline query timing.
 	t0 := time.Now()
 	const queryRounds = 50
 	for i := 0; i < queryRounds; i++ {
-		if _, err := store.Query(src, dst, dsa.EngineDijkstra); err != nil {
+		if _, err := client.Query(ctx, costReq); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -58,39 +61,39 @@ func main() {
 	fmt.Printf("steady-state query: %v\n", perQuery.Round(time.Microsecond))
 
 	// An update: add a new express connection inside fragment 0.
-	f0 := store.Fragmentation().Fragment(0).Nodes()
-	express := graph.Edge{From: f0[0], To: f0[len(f0)-1], Weight: 0.5}
+	f0 := res.Fragmentation.Fragment(0).Nodes()
+	exFrom, exTo, exWeight := int(f0[0]), int(f0[len(f0)-1]), 0.5
 	t0 = time.Now()
-	ustats, err := store.InsertEdge(0, express)
+	ustats, err := client.InsertEdge(0, exFrom, exTo, exWeight)
 	if err != nil {
 		log.Fatal(err)
 	}
 	updateCost := time.Since(t0)
 	fmt.Printf("insert %d→%d: rebuilt %d disconnection sets with %d global searches in %v\n",
-		express.From, express.To, ustats.RecomputedSets, ustats.DijkstraRuns,
+		exFrom, exTo, ustats.RecomputedSets, ustats.DijkstraRuns,
 		updateCost.Round(time.Microsecond))
 	fmt.Printf("one update costs as much as ≈ %d queries\n\n",
 		int(updateCost/perQuery)+1)
 
 	// Queries remain exact after the update.
-	after, err := store.Query(src, dst, dsa.EngineDijkstra)
+	after, err := client.Cost(ctx, src, dst)
 	if err != nil {
 		log.Fatal(err)
 	}
-	want := store.Fragmentation().Base().Distance(src, dst)
+	want := client.Store().Fragmentation().Base().Distance(nodes[0], nodes[len(nodes)-1])
 	fmt.Printf("query after update: cost %.2f (global search agrees: %v)\n",
-		after.Cost, approxEqual(after.Cost, want))
+		after, approxEqual(after, want))
 
 	// And a deletion: remove the express edge again.
-	if _, err := store.DeleteEdge(0, express); err != nil {
+	if _, err := client.DeleteEdge(0, exFrom, exTo, exWeight); err != nil {
 		log.Fatal(err)
 	}
-	restored, err := store.Query(src, dst, dsa.EngineDijkstra)
+	restored, err := client.Cost(ctx, src, dst)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("query after delete: cost %.2f (back to the original: %v)\n",
-		restored.Cost, approxEqual(restored.Cost, g.Distance(src, dst)))
+		restored, approxEqual(restored, g.Distance(nodes[0], nodes[len(nodes)-1])))
 	fmt.Println("\nconclusion: batch updates, amortise preprocessing over query bursts —")
 	fmt.Println("exactly the paper's operating regime for the disconnection set approach.")
 }

@@ -1,8 +1,10 @@
 package dsa
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,9 +57,12 @@ func (e Engine) String() string {
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
-// ParseEngine resolves a CLI engine name.
+// ParseEngine resolves an engine name, case-insensitively. Unknown
+// names return an error wrapping ErrUnknownEngine — call sites must
+// branch with errors.Is, never by matching engine-name strings
+// themselves.
 func ParseEngine(name string) (Engine, error) {
-	switch name {
+	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "dijkstra":
 		return EngineDijkstra, nil
 	case "seminaive":
@@ -67,7 +72,7 @@ func ParseEngine(name string) (Engine, error) {
 	case "dense":
 		return EngineDense, nil
 	}
-	return 0, fmt.Errorf("dsa: unknown engine %q (want dijkstra, seminaive, bitset or dense)", name)
+	return 0, fmt.Errorf("dsa: %w %q (want dijkstra, seminaive, bitset or dense)", ErrUnknownEngine, name)
 }
 
 // ValidEngine reports whether e is a known engine — the single source
@@ -174,10 +179,10 @@ type Result struct {
 // connectivity.
 func (st *Store) Query(source, target graph.NodeID, engine Engine) (*Result, error) {
 	if st.problem != ProblemShortestPath {
-		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+		return nil, fmt.Errorf("dsa: %w: store precomputed for reachability cannot answer cost queries", ErrProblemMismatch)
 	}
 	if engine == EngineBitset {
-		return nil, fmt.Errorf("dsa: engine bitset computes connectivity only; use Connected")
+		return nil, fmt.Errorf("dsa: %w: engine bitset computes connectivity only; use Connected", ErrEngineMismatch)
 	}
 	return st.run(source, target, engine, false)
 }
@@ -188,10 +193,10 @@ func (st *Store) Query(source, target graph.NodeID, engine Engine) (*Result, err
 // first phase of the computation".
 func (st *Store) QueryParallel(source, target graph.NodeID, engine Engine) (*Result, error) {
 	if st.problem != ProblemShortestPath {
-		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+		return nil, fmt.Errorf("dsa: %w: store precomputed for reachability cannot answer cost queries", ErrProblemMismatch)
 	}
 	if engine == EngineBitset {
-		return nil, fmt.Errorf("dsa: engine bitset computes connectivity only; use Connected")
+		return nil, fmt.Errorf("dsa: %w: engine bitset computes connectivity only; use Connected", ErrEngineMismatch)
 	}
 	return st.run(source, target, engine, true)
 }
@@ -295,8 +300,16 @@ func (st *Store) FinishPlan(plan *Plan, results []*LegResult, res *Result) error
 // when parallel is set), then assembly. External planners (package phe)
 // pair it with PlanChains.
 func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, error) {
+	return st.RunPlanCtx(context.Background(), plan, engine, parallel)
+}
+
+// RunPlanCtx is RunPlan with cancellation: sites observe ctx between
+// legs and the kernels observe it between fixpoint rounds / levels, so
+// a canceled query returns ErrCanceled promptly instead of finishing
+// the remaining work.
+func (st *Store) RunPlanCtx(ctx context.Context, plan *Plan, engine Engine, parallel bool) (*Result, error) {
 	if !ValidEngine(engine) {
-		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
+		return nil, fmt.Errorf("dsa: %w %d", ErrUnknownEngine, engine)
 	}
 	start := time.Now()
 	res, done := st.PlanResult(plan)
@@ -314,7 +327,10 @@ func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, err
 	results := make([]*LegResult, len(plan.Legs))
 	runSite := func(siteID int, legIdxs []int) error {
 		for _, i := range legIdxs {
-			lr, err := st.ExecuteLeg(plan.Legs[i], engine)
+			if ctx.Err() != nil {
+				return canceledErr(ctx)
+			}
+			lr, err := st.ExecuteLegCtx(ctx, plan.Legs[i], engine)
 			if err != nil {
 				return err
 			}
@@ -359,88 +375,23 @@ func (st *Store) RunPlan(plan *Plan, engine Engine, parallel bool) (*Result, err
 // the unit of work a (real or simulated) processor performs; package
 // sim schedules these across simulated sites.
 func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
-	if leg.SiteID < 0 || leg.SiteID >= len(st.sites) {
-		return nil, fmt.Errorf("dsa: leg site %d out of range", leg.SiteID)
-	}
-	site := st.sites[leg.SiteID]
+	return st.ExecuteLegCtx(context.Background(), leg, engine)
+}
+
+// ExecuteLegCtx is ExecuteLeg with cancellation threaded into the
+// engine kernels (between Dijkstra sources, fixpoint rounds and
+// propagation levels).
+func (st *Store) ExecuteLegCtx(ctx context.Context, leg Leg, engine Engine) (*LegResult, error) {
 	t0 := time.Now()
-	out := relation.New("src", "dst", "cost")
-	var stats tc.Stats
-	switch engine {
-	case EngineDijkstra:
-		exit := make(map[graph.NodeID]struct{}, len(leg.Exit))
-		for _, x := range leg.Exit {
-			exit[x] = struct{}{}
-		}
-		for _, a := range leg.Entry {
-			dist, _ := site.augmented.ShortestPaths(a)
-			for x := range exit {
-				if d, ok := dist[x]; ok && a != x {
-					out.MustInsert(relation.Tuple{int64(a), int64(x), d})
-				}
-			}
-			stats.DerivedTuples += len(dist)
-		}
-		stats.ResultTuples = out.Len()
-	case EngineSemiNaive:
-		full, s, err := tc.ShortestFrom(site.localRel, leg.Entry)
-		if err != nil {
-			return nil, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
-		}
-		stats = s
-		filtered, err := full.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
-		if err != nil {
-			return nil, err
-		}
-		for _, t := range filtered.Tuples() {
-			out.MustInsert(t)
-		}
-		stats.ResultTuples = out.Len()
-	case EngineBitset:
-		pairs, s, err := tc.BitsetReachableFrom(site.localRel, leg.Entry)
-		if err != nil {
-			return nil, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
-		}
-		stats = s
-		filtered, err := pairs.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
-		if err != nil {
-			return nil, err
-		}
-		for _, t := range filtered.Tuples() {
-			// Presence marker, not a path cost — assembly sums stay
-			// finite and Reachable is exact; Cost is meaningless and
-			// cost queries refuse this engine.
-			out.MustInsert(relation.Tuple{t[0], t[1], 1.0})
-		}
-		stats.ResultTuples = out.Len()
-	case EngineDense:
-		kernel, err := site.denseKernel()
-		if err != nil {
-			return nil, err
-		}
-		full, s := kernel.CostFrom(leg.Entry)
-		stats = s
-		filtered, err := full.SelectInKeys("dst", relation.NodeKeySet(leg.Exit))
-		if err != nil {
-			return nil, err
-		}
-		for _, t := range filtered.Tuples() {
-			out.MustInsert(t)
-		}
-		stats.ResultTuples = out.Len()
-	default:
-		return nil, fmt.Errorf("dsa: unknown engine %d", engine)
+	full, stats, err := st.ExecuteLegFullCtx(ctx, leg.SiteID, leg.Entry, engine)
+	if err != nil {
+		return nil, err
 	}
-	// Entry nodes that are themselves exit nodes contribute zero-cost
-	// facts (a chain may enter and leave a fragment at the same border
-	// node).
-	for _, a := range leg.Entry {
-		for _, x := range leg.Exit {
-			if a == x {
-				out.MustInsert(relation.Tuple{int64(a), int64(x), 0.0})
-			}
-		}
+	out, err := FilterLegFacts(full, leg)
+	if err != nil {
+		return nil, err
 	}
+	stats.ResultTuples = out.Len()
 	return &LegResult{Leg: leg, Rel: out, Stats: stats, Took: time.Since(t0)}, nil
 }
 
@@ -454,8 +405,17 @@ func (st *Store) ExecuteLeg(leg Leg, engine Engine) (*LegResult, error) {
 // cost column carries the presence marker 1 (the relation is a
 // connectivity table, matching ExecuteLeg's convention).
 func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine) (*relation.Relation, tc.Stats, error) {
+	return st.ExecuteLegFullCtx(context.Background(), siteID, entry, engine)
+}
+
+// ExecuteLegFullCtx is ExecuteLegFull with cancellation threaded into
+// the engine kernels: the per-entry Dijkstra loop checks ctx between
+// sources, and the relational, bitset and dense kernels observe it
+// between fixpoint rounds / propagation levels. A canceled leg returns
+// ErrCanceled.
+func (st *Store) ExecuteLegFullCtx(ctx context.Context, siteID int, entry []graph.NodeID, engine Engine) (*relation.Relation, tc.Stats, error) {
 	if siteID < 0 || siteID >= len(st.sites) {
-		return nil, tc.Stats{}, fmt.Errorf("dsa: leg site %d out of range", siteID)
+		return nil, tc.Stats{}, fmt.Errorf("dsa: %w: leg site %d out of range", ErrUnknownSite, siteID)
 	}
 	site := st.sites[siteID]
 	full := relation.New("src", "dst", "cost")
@@ -463,6 +423,9 @@ func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine)
 	switch engine {
 	case EngineDijkstra:
 		for _, a := range entry {
+			if ctx.Err() != nil {
+				return nil, stats, canceledErr(ctx)
+			}
 			dist, _ := site.augmented.ShortestPaths(a)
 			for x, d := range dist {
 				if a != x {
@@ -474,19 +437,22 @@ func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine)
 	case EngineSemiNaive:
 		// ShortestFrom already returns a freshly owned (src, dst, cost)
 		// relation; adopt it instead of copying.
-		rel, s, err := tc.ShortestFrom(site.localRel, entry)
+		rel, s, err := tc.ShortestFromCtx(ctx, site.localRel, entry)
 		if err != nil {
-			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
+			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %w", site.ID, err)
 		}
 		stats = s
 		full = rel
 	case EngineBitset:
-		pairs, s, err := tc.BitsetReachableFrom(site.localRel, entry)
+		pairs, s, err := tc.BitsetReachableFromCtx(ctx, site.localRel, entry)
 		if err != nil {
-			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %v", site.ID, err)
+			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %w", site.ID, err)
 		}
 		stats = s
 		for _, t := range pairs.Tuples() {
+			// Presence marker, not a path cost — assembly sums stay
+			// finite and Reachable is exact; Cost is meaningless and
+			// cost queries refuse this engine.
 			full.MustInsert(relation.Tuple{t[0], t[1], 1.0})
 		}
 	case EngineDense:
@@ -495,11 +461,14 @@ func (st *Store) ExecuteLegFull(siteID int, entry []graph.NodeID, engine Engine)
 			return nil, tc.Stats{}, err
 		}
 		// The site's CSR snapshot already owns its result relation.
-		rel, s := kernel.CostFrom(entry)
+		rel, s, err := kernel.CostFromCtx(ctx, entry)
+		if err != nil {
+			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %w", site.ID, err)
+		}
 		stats = s
 		full = rel
 	default:
-		return nil, tc.Stats{}, fmt.Errorf("dsa: unknown engine %d", engine)
+		return nil, tc.Stats{}, fmt.Errorf("dsa: %w %d", ErrUnknownEngine, engine)
 	}
 	stats.ResultTuples = full.Len()
 	return full, stats, nil

@@ -32,7 +32,7 @@ type Route struct {
 // a small relation.
 func (st *Store) QueryPath(source, target graph.NodeID) (*Result, *Route, error) {
 	if st.problem != ProblemShortestPath {
-		return nil, nil, fmt.Errorf("dsa: store precomputed for reachability cannot reconstruct routes")
+		return nil, nil, fmt.Errorf("dsa: %w: store precomputed for reachability cannot reconstruct routes", ErrProblemMismatch)
 	}
 	res, err := st.Query(source, target, EngineDijkstra)
 	if err != nil {

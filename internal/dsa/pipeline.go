@@ -1,6 +1,7 @@
 package dsa
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,11 +32,19 @@ func (st *Store) QueryPipelined(source, target graph.NodeID) (*Result, error) {
 // EngineDense (the CSR kernel's CostVector). The relational and bitset
 // engines are refused.
 func (st *Store) QueryPipelinedEngine(source, target graph.NodeID, engine Engine) (*Result, error) {
+	return st.QueryPipelinedEngineCtx(context.Background(), source, target, engine)
+}
+
+// QueryPipelinedEngineCtx is QueryPipelinedEngine with cancellation:
+// the chain walk observes ctx between legs and the dense kernel
+// between frontier rounds, so a canceled query returns ErrCanceled
+// promptly.
+func (st *Store) QueryPipelinedEngineCtx(ctx context.Context, source, target graph.NodeID, engine Engine) (*Result, error) {
 	if st.problem != ProblemShortestPath {
-		return nil, fmt.Errorf("dsa: store precomputed for reachability cannot answer cost queries")
+		return nil, fmt.Errorf("dsa: %w: store precomputed for reachability cannot answer cost queries", ErrProblemMismatch)
 	}
 	if engine != EngineDijkstra && engine != EngineDense {
-		return nil, fmt.Errorf("dsa: pipelined evaluation needs a vector-seeded engine (dijkstra or dense), not %v", engine)
+		return nil, fmt.Errorf("dsa: %w: pipelined evaluation needs a vector-seeded engine (dijkstra or dense), not %v", ErrEngineMismatch, engine)
 	}
 	start := time.Now()
 	plan, err := st.NewPlan(source, target)
@@ -48,7 +57,7 @@ func (st *Store) QueryPipelinedEngine(source, target graph.NodeID, engine Engine
 		return res, nil
 	}
 	for _, chain := range plan.Chains {
-		cost, ok, err := st.pipelineChain(source, target, chain, engine, res)
+		cost, ok, err := st.pipelineChain(ctx, source, target, chain, engine, res)
 		if err != nil {
 			return nil, err
 		}
@@ -64,9 +73,12 @@ func (st *Store) QueryPipelinedEngine(source, target graph.NodeID, engine Engine
 
 // pipelineChain folds one chain with vector-seeded multi-source
 // searches and returns the cost at the target.
-func (st *Store) pipelineChain(source, target graph.NodeID, chain []int, engine Engine, res *Result) (float64, bool, error) {
+func (st *Store) pipelineChain(ctx context.Context, source, target graph.NodeID, chain []int, engine Engine, res *Result) (float64, bool, error) {
 	vector := map[graph.NodeID]float64{source: 0}
 	for i, fragID := range chain {
+		if ctx.Err() != nil {
+			return 0, false, canceledErr(ctx)
+		}
 		site := st.sites[fragID]
 		t0 := time.Now()
 		var dist map[graph.NodeID]float64
@@ -75,7 +87,10 @@ func (st *Store) pipelineChain(source, target graph.NodeID, chain []int, engine 
 			if err != nil {
 				return 0, false, err
 			}
-			dist = kernel.CostVector(vector)
+			dist, err = kernel.CostVectorCtx(ctx, vector)
+			if err != nil {
+				return 0, false, err
+			}
 		} else {
 			dist, _ = site.augmented.ShortestPathsMulti(vector)
 		}

@@ -68,18 +68,18 @@ type Plan struct {
 // query from source to target.
 func (st *Store) NewPlan(source, target graph.NodeID) (*Plan, error) {
 	if !st.fr.Base().HasNode(source) {
-		return nil, fmt.Errorf("dsa: source node %d not in graph", source)
+		return nil, fmt.Errorf("dsa: %w: source node %d not in graph", ErrUnknownNode, source)
 	}
 	if !st.fr.Base().HasNode(target) {
-		return nil, fmt.Errorf("dsa: target node %d not in graph", target)
+		return nil, fmt.Errorf("dsa: %w: target node %d not in graph", ErrUnknownNode, target)
 	}
 	srcFrags := st.fr.FragmentsOf(source)
 	dstFrags := st.fr.FragmentsOf(target)
 	if len(srcFrags) == 0 {
-		return nil, fmt.Errorf("dsa: source node %d is isolated (no fragment)", source)
+		return nil, fmt.Errorf("dsa: %w: source node %d is isolated (no fragment)", ErrUnknownNode, source)
 	}
 	if len(dstFrags) == 0 {
-		return nil, fmt.Errorf("dsa: target node %d is isolated (no fragment)", target)
+		return nil, fmt.Errorf("dsa: %w: target node %d is isolated (no fragment)", ErrUnknownNode, target)
 	}
 	p := &Plan{Source: source, Target: target}
 
@@ -131,10 +131,10 @@ func (st *Store) NewPlan(source, target graph.NodeID) (*Plan, error) {
 // non-empty disconnection set between consecutive fragments.
 func (st *Store) PlanChains(source, target graph.NodeID, chains [][]int) (*Plan, error) {
 	if !st.fr.Base().HasNode(source) {
-		return nil, fmt.Errorf("dsa: source node %d not in graph", source)
+		return nil, fmt.Errorf("dsa: %w: source node %d not in graph", ErrUnknownNode, source)
 	}
 	if !st.fr.Base().HasNode(target) {
-		return nil, fmt.Errorf("dsa: target node %d not in graph", target)
+		return nil, fmt.Errorf("dsa: %w: target node %d not in graph", ErrUnknownNode, target)
 	}
 	if len(chains) == 0 {
 		return nil, fmt.Errorf("dsa: PlanChains: no chains given")
@@ -146,7 +146,7 @@ func (st *Store) PlanChains(source, target graph.NodeID, chains [][]int) (*Plan,
 		}
 		for i, f := range chain {
 			if f < 0 || f >= len(st.sites) {
-				return nil, fmt.Errorf("dsa: PlanChains: fragment %d out of range", f)
+				return nil, fmt.Errorf("dsa: %w: PlanChains: fragment %d out of range", ErrUnknownSite, f)
 			}
 			if i > 0 {
 				if chain[i-1] == f {

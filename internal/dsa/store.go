@@ -17,6 +17,7 @@ package dsa
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/fragment"
@@ -151,15 +152,18 @@ func (p Problem) String() string {
 	return fmt.Sprintf("problem(%d)", int(p))
 }
 
-// ParseProblem resolves a CLI problem name.
+// ParseProblem resolves a problem name, case-insensitively. Unknown
+// names return an error wrapping ErrUnknownProblem — call sites must
+// branch with errors.Is, never by matching problem-name strings
+// themselves.
 func ParseProblem(name string) (Problem, error) {
-	switch name {
-	case "shortestpath":
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "shortestpath", "shortest-path", "cost":
 		return ProblemShortestPath, nil
-	case "reachability":
+	case "reachability", "connectivity":
 		return ProblemReachability, nil
 	}
-	return 0, fmt.Errorf("dsa: unknown problem %q (want shortestpath or reachability)", name)
+	return 0, fmt.Errorf("dsa: %w %q (want shortestpath or reachability)", ErrUnknownProblem, name)
 }
 
 // Store is a fragmentation deployed for disconnection-set query
@@ -205,7 +209,7 @@ func Build(fr *fragment.Fragmentation, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("dsa: MaxChains must be non-negative, got %d", opt.MaxChains)
 	}
 	if opt.Problem != ProblemShortestPath && opt.Problem != ProblemReachability {
-		return nil, fmt.Errorf("dsa: unknown problem %d", opt.Problem)
+		return nil, fmt.Errorf("dsa: %w %d", ErrUnknownProblem, opt.Problem)
 	}
 	st := &Store{fr: fr, fg: fr.FragmentationGraph(), maxChains: opt.MaxChains, problem: opt.Problem}
 	base := fr.Base()

@@ -40,14 +40,14 @@ type UpdateStats struct {
 //     stats make the expense visible so callers can batch.
 func (st *Store) InsertEdge(fragID int, e graph.Edge) (UpdateStats, error) {
 	if fragID < 0 || fragID >= len(st.sites) {
-		return UpdateStats{}, fmt.Errorf("dsa: fragment %d out of range", fragID)
+		return UpdateStats{}, fmt.Errorf("dsa: %w: fragment %d out of range", ErrUnknownSite, fragID)
 	}
 	base := st.fr.Base()
 	if !base.HasNode(e.From) || !base.HasNode(e.To) {
-		return UpdateStats{}, fmt.Errorf("dsa: edge %v endpoints must be existing nodes", e)
+		return UpdateStats{}, fmt.Errorf("dsa: %w: edge %v endpoints must be existing nodes", ErrUnknownNode, e)
 	}
 	if e.Weight < 0 {
-		return UpdateStats{}, fmt.Errorf("dsa: negative edge weight %v", e.Weight)
+		return UpdateStats{}, fmt.Errorf("dsa: %w %v", ErrNegativeWeight, e.Weight)
 	}
 	// Rebuild the base graph + fragmentation with the edge added to the
 	// fragment's edge set.
@@ -66,7 +66,7 @@ func (st *Store) InsertEdge(fragID int, e graph.Edge) (UpdateStats, error) {
 // information is likewise rebuilt.
 func (st *Store) DeleteEdge(fragID int, e graph.Edge) (UpdateStats, error) {
 	if fragID < 0 || fragID >= len(st.sites) {
-		return UpdateStats{}, fmt.Errorf("dsa: fragment %d out of range", fragID)
+		return UpdateStats{}, fmt.Errorf("dsa: %w: fragment %d out of range", ErrUnknownSite, fragID)
 	}
 	sets := make([][]graph.Edge, st.fr.NumFragments())
 	found := false

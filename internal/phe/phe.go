@@ -117,7 +117,7 @@ func (h *Hierarchy) Chains(source, target graph.NodeID) ([][]int, error) {
 // executing per-site legs in parallel.
 func (h *Hierarchy) Query(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
 	if engine == dsa.EngineBitset {
-		return nil, fmt.Errorf("phe: engine bitset computes connectivity only; use Connected")
+		return nil, fmt.Errorf("phe: %w: engine bitset computes connectivity only; use Connected", dsa.ErrEngineMismatch)
 	}
 	chains, err := h.Chains(source, target)
 	if err != nil {
@@ -161,6 +161,28 @@ func (h *Hierarchy) Connected(source, target graph.NodeID, engine dsa.Engine) (b
 		return false, err
 	}
 	return res.Reachable, nil
+}
+
+// QueryNamed is Query with the engine given by name (anything
+// dsa.ParseEngine accepts) — the bridge for callers that stay free of
+// internal/dsa imports, like the tcquery CLI handing over a
+// planner-resolved engine.
+func (h *Hierarchy) QueryNamed(source, target graph.NodeID, engine string) (*dsa.Result, error) {
+	eng, err := dsa.ParseEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	return h.Query(source, target, eng)
+}
+
+// ConnectedNamed is Connected with the engine given by name — see
+// QueryNamed.
+func (h *Hierarchy) ConnectedNamed(source, target graph.NodeID, engine string) (bool, error) {
+	eng, err := dsa.ParseEngine(engine)
+	if err != nil {
+		return false, err
+	}
+	return h.Connected(source, target, eng)
 }
 
 // runChains plans the given hierarchical chains and executes them with

@@ -12,15 +12,20 @@ import (
 	"repro/internal/tc"
 )
 
-// legKey identifies one memoizable leg computation: the site, the
-// engine and the entry set (sorted by the planner, so the rendering is
-// canonical). The exit set is deliberately absent — it is a cheap
-// selection applied after lookup (dsa.FilterLegFacts), so queries with
-// different targets share cache entries whenever they enter a fragment
-// through the same disconnection set.
+// legKey identifies one memoizable leg computation under the
+// planner's canonical plan: the resolved concrete engine (by canonical
+// name — tcq's planner resolves auto before execution, so every cached
+// entry is keyed by what actually ran, stable across engine
+// renumbering), the site, and the entry set (sorted by the planner, so
+// the rendering is canonical). The exit set is deliberately absent —
+// it is a cheap selection applied after lookup (dsa.FilterLegFacts),
+// so queries with different targets share cache entries whenever they
+// enter a fragment through the same disconnection set; the mode is
+// likewise absent because a leg's full fact relation depends only on
+// the engine, letting cost and connectivity traffic share entries.
 func legKey(siteID int, entry []graph.NodeID, engine dsa.Engine) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%d|", siteID, engine)
+	fmt.Fprintf(&sb, "%s|%d|", engine, siteID)
 	for _, n := range entry {
 		fmt.Fprintf(&sb, "%d,", n)
 	}

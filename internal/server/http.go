@@ -7,8 +7,8 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/dsa"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 // QueryResponse is the JSON answer of /query.
@@ -69,13 +69,17 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Handler returns the HTTP API: /query, /connected, /update, /stats
-// and /healthz, all JSON. Engine selection is per-request via
-// ?engine=dijkstra|seminaive|bitset (default: the server's configured
-// engine); /query additionally accepts ?mode=pooled|pipelined.
+// Handler returns the HTTP API. The versioned surface is the facade
+// on the wire: POST /v1/query and POST /v1/batch (JSON bodies with
+// source/target sets, modes, auto-planned engines and typed error
+// codes — see package tcq). The unversioned GET endpoints /query and
+// /connected remain as thin shims over the same facade for existing
+// clients, alongside /update, /stats and /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/query", s.handleV1Query)
+	mux.HandleFunc("POST /v1/batch", s.handleV1Batch)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /connected", s.handleConnected)
 	mux.HandleFunc("POST /update", s.handleUpdate)
@@ -107,19 +111,22 @@ func parsePair(r *http.Request) (graph.NodeID, graph.NodeID, error) {
 }
 
 // parseEngine resolves the optional engine parameter against the
-// server default.
-func (s *Server) parseEngine(r *http.Request) (dsa.Engine, error) {
+// server default (tcq.EngineAuto delegates to the planner).
+func (s *Server) parseEngine(r *http.Request) (tcq.Engine, error) {
 	name := r.URL.Query().Get("engine")
 	if name == "" {
 		return s.cfg.DefaultEngine, nil
 	}
-	return dsa.ParseEngine(name)
+	return tcq.ParseEngine(name)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleQuery is the legacy unversioned shim: it translates the GET
+// parameters into a facade request and answers in the historical
+// response shape. New clients should POST /v1/query.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	src, dst, err := parsePair(r)
 	if err != nil {
@@ -135,60 +142,59 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if mode == "" {
 		mode = "pooled"
 	}
-	var (
-		res *dsa.Result
-		qs  QueryStats
-	)
+	var tmode tcq.Mode
 	switch mode {
 	case "pooled":
-		res, qs, err = s.Query(src, dst, engine)
+		tmode = tcq.ModeCost
 	case "pipelined":
-		// Pipelined evaluation is vector-seeded, so only the engines
-		// with a multi-source seeded primitive qualify: dijkstra and
-		// dense. With no explicit selection, honor the server's
-		// configured default when it qualifies (as mode=pooled does)
-		// and fall back to dijkstra otherwise; an explicit non-seeded
-		// engine would be silently ignored — refuse it instead.
-		if r.URL.Query().Get("engine") == "" {
-			if engine != dsa.EngineDense {
-				engine = dsa.EngineDijkstra
-			}
-		} else if engine != dsa.EngineDijkstra && engine != dsa.EngineDense {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("mode=pipelined needs a vector-seeded engine (dijkstra or dense), not %q", engine))
-			return
+		tmode = tcq.ModePipelined
+		// Historical behaviour: with no explicit engine selection, a
+		// configured default that cannot pipeline falls back to
+		// dijkstra (auto qualifies — the planner only picks
+		// vector-seeded engines for pipelined mode).
+		if r.URL.Query().Get("engine") == "" &&
+			engine != tcq.EngineAuto && engine != tcq.EngineDijkstra && engine != tcq.EngineDense {
+			engine = tcq.EngineDijkstra
 		}
-		res, err = s.QueryPipelined(src, dst, engine)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want pooled or pipelined)", mode))
 		return
 	}
+	res, err := s.facade.Query(r.Context(), tcq.Request{
+		Sources: []int{int(src)},
+		Targets: []int{int(dst)},
+		Mode:    tmode,
+		Engine:  engine,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ans := res.Answers[0]
 	resp := QueryResponse{
-		Source:           int(res.Source),
-		Target:           int(res.Target),
-		Reachable:        res.Reachable,
-		BestChain:        res.BestChain,
-		ChainsConsidered: res.ChainsConsidered,
-		SameFragment:     res.SameFragment,
-		Truncated:        res.Truncated,
-		Engine:           engine.String(),
+		Source:           ans.Source,
+		Target:           ans.Target,
+		Reachable:        ans.Reachable,
+		BestChain:        ans.BestChain,
+		ChainsConsidered: ans.ChainsConsidered,
+		SameFragment:     ans.SameFragment,
+		Truncated:        ans.Truncated,
+		Engine:           res.Explain.Engine.String(),
 		Mode:             mode,
-		ElapsedUS:        res.Elapsed.Microseconds(),
-		CacheHits:        qs.CacheHits,
-		CacheMisses:      qs.CacheMisses,
-		TuplesShipped:    res.TuplesShipped,
+		ElapsedUS:        ans.Elapsed.Microseconds(),
+		CacheHits:        res.CacheHits,
+		CacheMisses:      res.CacheMisses,
+		TuplesShipped:    ans.TuplesShipped,
 	}
-	if res.Reachable {
-		cost := res.Cost
+	if ans.Reachable {
+		cost := ans.Cost
 		resp.Cost = &cost
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleConnected is the legacy unversioned shim for the reachability
+// query; new clients should POST /v1/query with mode connectivity.
 func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 	src, dst, err := parsePair(r)
 	if err != nil {
@@ -201,7 +207,12 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	connected, qs, err := s.Connected(src, dst, engine)
+	res, err := s.facade.Query(r.Context(), tcq.Request{
+		Sources: []int{int(src)},
+		Targets: []int{int(dst)},
+		Mode:    tcq.ModeConnectivity,
+		Engine:  engine,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -209,11 +220,11 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ConnectedResponse{
 		Source:      int(src),
 		Target:      int(dst),
-		Connected:   connected,
-		Engine:      engine.String(),
+		Connected:   res.Answers[0].Reachable,
+		Engine:      res.Explain.Engine.String(),
 		ElapsedUS:   time.Since(start).Microseconds(),
-		CacheHits:   qs.CacheHits,
-		CacheMisses: qs.CacheMisses,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
 	})
 }
 
@@ -226,7 +237,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	e := graph.Edge{From: graph.NodeID(req.From), To: graph.NodeID(req.To), Weight: req.Weight}
 	start := time.Now()
 	var (
-		stats dsa.UpdateStats
+		stats tcq.UpdateStats
 		err   error
 	)
 	switch req.Op {

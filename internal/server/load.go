@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,6 +38,9 @@ type LoadConfig struct {
 	Engine string
 	// Mode is "query" (shortest path) or "connected" (reachability).
 	Mode string
+	// API selects the wire surface: "legacy" (default; GET /query and
+	// /connected) or "v1" (POST /v1/query with a facade request body).
+	API string
 	// Seed drives the random workload.
 	Seed int64
 	// Repeat is the number of passes over the same workload (≥ 1).
@@ -128,6 +132,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	if cfg.Mode != "query" && cfg.Mode != "connected" {
 		return nil, fmt.Errorf("server: load: unknown mode %q (want query or connected)", cfg.Mode)
+	}
+	if cfg.API == "" {
+		cfg.API = "legacy"
+	}
+	if cfg.API != "legacy" && cfg.API != "v1" {
+		return nil, fmt.Errorf("server: load: unknown api %q (want legacy or v1)", cfg.API)
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
@@ -247,8 +257,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
-// fire sends one query and extracts the comparable answer.
+// fire sends one query over the configured API surface and extracts
+// the comparable answer.
 func fire(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
+	if cfg.API == "v1" {
+		return fireV1(client, cfg, src, dst)
+	}
 	q := url.Values{}
 	q.Set("src", fmt.Sprint(src))
 	q.Set("dst", fmt.Sprint(dst))
@@ -285,6 +299,48 @@ func fire(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
 	a := answer{reachable: qr.Reachable}
 	if qr.Cost != nil {
 		a.cost = *qr.Cost
+		a.hasCost = true
+	}
+	return a, nil
+}
+
+// fireV1 sends one query as a facade request over POST /v1/query.
+func fireV1(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
+	mode := "cost"
+	if cfg.Mode == "connected" {
+		mode = "connectivity"
+	}
+	body, err := json.Marshal(V1Request{
+		Sources: []int{src},
+		Targets: []int{dst},
+		Mode:    mode,
+		Engine:  cfg.Engine,
+	})
+	if err != nil {
+		return answer{}, err
+	}
+	resp, err := client.Post(cfg.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return answer{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return answer{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return answer{}, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var vr V1QueryResponse
+	if err := json.Unmarshal(raw, &vr); err != nil {
+		return answer{}, fmt.Errorf("bad /v1/query body: %v", err)
+	}
+	if len(vr.Answers) != 1 {
+		return answer{}, fmt.Errorf("/v1/query returned %d answers for one pair", len(vr.Answers))
+	}
+	a := answer{reachable: vr.Answers[0].Reachable}
+	if vr.Answers[0].Cost != nil {
+		a.cost = *vr.Answers[0].Cost
 		a.hasCost = true
 	}
 	return a, nil

@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,12 +23,15 @@ import (
 
 	"repro/internal/dsa"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 // Config tunes a Server.
 type Config struct {
-	// DefaultEngine answers requests that do not select an engine.
-	DefaultEngine dsa.Engine
+	// DefaultEngine answers legacy requests that do not select an
+	// engine. tcq.EngineAuto (the zero value) delegates per-request
+	// engine choice to the facade's planner — the recommended setting.
+	DefaultEngine tcq.Engine
 	// CacheCapacity bounds the leg-result cache in entries; 0 disables
 	// memoization.
 	CacheCapacity int
@@ -41,12 +45,13 @@ type Config struct {
 type Server struct {
 	// mu guards st: queries and stats take the read side, updates the
 	// write side (dsa updates rebuild the store in place).
-	mu    sync.RWMutex
-	st    *dsa.Store
-	cache *legCache
-	pools *sitePools
-	cfg   Config
-	start time.Time
+	mu     sync.RWMutex
+	st     *dsa.Store
+	cache  *legCache
+	pools  *sitePools
+	cfg    Config
+	facade *tcq.Client
+	start  time.Time
 
 	queries    atomic.Uint64
 	connected  atomic.Uint64
@@ -62,14 +67,14 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 	if st == nil {
 		return nil, fmt.Errorf("server: nil store")
 	}
-	if !dsa.ValidEngine(cfg.DefaultEngine) {
-		return nil, fmt.Errorf("server: unknown default engine %d", int(cfg.DefaultEngine))
+	if !cfg.DefaultEngine.Valid() {
+		return nil, fmt.Errorf("server: %w %d", dsa.ErrUnknownEngine, int(cfg.DefaultEngine))
 	}
 	if cfg.SiteWorkers < 1 {
 		cfg.SiteWorkers = 1
 	}
 	n := len(st.Sites())
-	return &Server{
+	s := &Server{
 		st:         st,
 		cache:      newLegCache(cfg.CacheCapacity),
 		pools:      newSitePools(n, cfg.SiteWorkers),
@@ -77,14 +82,51 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 		start:      time.Now(),
 		siteLegs:   make([]atomic.Uint64, n),
 		siteBusyNS: make([]atomic.Int64, n),
-	}, nil
+	}
+	// The server is the facade's runner: every tcq query — the /v1 API,
+	// or a library caller holding Facade() — executes through the
+	// pooled, leg-cached path below.
+	facade, err := tcq.Open(st, tcq.WithRunner(s))
+	if err != nil {
+		return nil, err
+	}
+	s.facade = facade
+	return s, nil
+}
+
+// Facade returns the server-backed tcq client: the public facade whose
+// queries run through the server's worker pools and leg cache.
+func (s *Server) Facade() *tcq.Client { return s.facade }
+
+// RunPair implements tcq.Runner: it is how the facade executes one
+// planned (source, target) pair on this server. The engine is already
+// concrete (the facade's planner resolved auto), so the pair maps
+// directly onto the pooled executor — or the store's pipelined walk
+// for ModePipelined, which is vector-seeded and therefore uncacheable.
+func (s *Server) RunPair(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, mode tcq.Mode) (*dsa.Result, tcq.RunStats, error) {
+	if mode == tcq.ModePipelined {
+		res, err := s.QueryPipelinedCtx(ctx, source, target, engine)
+		return res, tcq.RunStats{}, err
+	}
+	res, qs, err := s.runCtx(ctx, source, target, engine, mode == tcq.ModeCost)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, tcq.RunStats{}, err
+	}
+	if mode == tcq.ModeCost {
+		s.queries.Add(1)
+	} else {
+		s.connected.Add(1)
+	}
+	return res, tcq.RunStats{CacheHits: qs.CacheHits, CacheMisses: qs.CacheMisses}, nil
 }
 
 // Close stops the worker pools. The server must not be used afterwards.
 func (s *Server) Close() { s.pools.close() }
 
-// DefaultEngine returns the engine used when a request names none.
-func (s *Server) DefaultEngine() dsa.Engine { return s.cfg.DefaultEngine }
+// DefaultEngine returns the engine used when a legacy request names
+// none (tcq.EngineAuto = the planner decides).
+func (s *Server) DefaultEngine() tcq.Engine { return s.cfg.DefaultEngine }
 
 // QueryStats reports the cache behaviour of one query.
 type QueryStats struct {
@@ -123,9 +165,15 @@ func (s *Server) Connected(source, target graph.NodeID, engine dsa.Engine) (bool
 // engine must support vector-seeded evaluation: dsa.EngineDijkstra or
 // dsa.EngineDense.
 func (s *Server) QueryPipelined(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
+	return s.QueryPipelinedCtx(context.Background(), source, target, engine)
+}
+
+// QueryPipelinedCtx is QueryPipelined with cancellation threaded into
+// the chain walk.
+func (s *Server) QueryPipelinedCtx(ctx context.Context, source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.st.QueryPipelinedEngine(source, target, engine)
+	res, err := s.st.QueryPipelinedEngineCtx(ctx, source, target, engine)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
@@ -135,20 +183,28 @@ func (s *Server) QueryPipelined(source, target graph.NodeID, engine dsa.Engine) 
 }
 
 // run is the pooled, cache-aware counterpart of dsa.Store.RunPlan.
-// costQuery marks shortest-path queries, which reachability stores and
-// the connectivity-only bitset engine refuse (mirroring dsa.Query).
 func (s *Server) run(source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
+	return s.runCtx(context.Background(), source, target, engine, costQuery)
+}
+
+// runCtx is the pooled, cache-aware, cancellation-aware executor
+// behind every non-pipelined query. costQuery marks shortest-path
+// queries, which reachability stores and the connectivity-only bitset
+// engine refuse (mirroring dsa.Query, with the same typed errors).
+// Leg tasks observe ctx both before executing (a canceled query's
+// queued legs become no-ops) and inside the kernels.
+func (s *Server) runCtx(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
 	if !dsa.ValidEngine(engine) {
-		return nil, QueryStats{}, fmt.Errorf("server: unknown engine %d", int(engine))
+		return nil, QueryStats{}, fmt.Errorf("server: %w %d", dsa.ErrUnknownEngine, int(engine))
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if costQuery {
 		if s.st.Problem() != dsa.ProblemShortestPath {
-			return nil, QueryStats{}, fmt.Errorf("server: store precomputed for reachability cannot answer cost queries")
+			return nil, QueryStats{}, fmt.Errorf("server: %w: store precomputed for reachability cannot answer cost queries", dsa.ErrProblemMismatch)
 		}
 		if engine == dsa.EngineBitset {
-			return nil, QueryStats{}, fmt.Errorf("server: engine bitset computes connectivity only; use Connected")
+			return nil, QueryStats{}, fmt.Errorf("server: %w: engine bitset computes connectivity only; use Connected", dsa.ErrEngineMismatch)
 		}
 	}
 	start := time.Now()
@@ -175,6 +231,12 @@ func (s *Server) run(source, target graph.NodeID, engine dsa.Engine, costQuery b
 		wg.Add(1)
 		s.pools.submit(leg.SiteID, func() {
 			defer wg.Done()
+			// A canceled query's queued legs become no-ops instead of
+			// occupying the site's workers.
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("server: %w (%w)", dsa.ErrCanceled, context.Cause(ctx))
+				return
+			}
 			t0 := time.Now()
 			key := legKey(leg.SiteID, leg.Entry, engine)
 			full, stats, ok := s.cache.get(key, epoch)
@@ -183,7 +245,7 @@ func (s *Server) run(source, target graph.NodeID, engine dsa.Engine, costQuery b
 			} else {
 				misses.Add(1)
 				var execErr error
-				full, stats, execErr = s.st.ExecuteLegFull(leg.SiteID, leg.Entry, engine)
+				full, stats, execErr = s.st.ExecuteLegFullCtx(ctx, leg.SiteID, leg.Entry, engine)
 				if execErr != nil {
 					errs[i] = execErr
 					return
@@ -231,6 +293,7 @@ func (s *Server) InsertEdge(fragID int, e graph.Edge) (dsa.UpdateStats, error) {
 	}
 	s.cache.purge()
 	s.updates.Add(1)
+	s.refreshFacade()
 	return stats, nil
 }
 
@@ -246,7 +309,18 @@ func (s *Server) DeleteEdge(fragID int, e graph.Edge) (dsa.UpdateStats, error) {
 	}
 	s.cache.purge()
 	s.updates.Add(1)
+	s.refreshFacade()
 	return stats, nil
+}
+
+// refreshFacade recollects the facade's planner stats after an applied
+// update (the store was rebuilt in place, so fragment sizes may have
+// changed). Called under the write lock, which keeps the store stable
+// while the stats are re-read; the facade's own lock is only ever held
+// briefly by planners, never across server execution, so the nesting
+// is safe.
+func (s *Server) refreshFacade() {
+	s.facade.Refresh()
 }
 
 // SiteStats is one site's serving-time work.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fragment/linear"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 // newGridServer builds a W×H grid store fragmented into frags linear
@@ -174,7 +175,7 @@ func TestServerRefusals(t *testing.T) {
 	if _, err := New(nil, Config{}); err == nil {
 		t.Error("nil store accepted")
 	}
-	if _, err := New(newOracle(t, mustStore(t)), Config{DefaultEngine: dsa.Engine(7)}); err == nil {
+	if _, err := New(newOracle(t, mustStore(t)), Config{DefaultEngine: tcq.Engine(7)}); err == nil {
 		t.Error("unknown default engine accepted")
 	}
 }
@@ -349,7 +350,7 @@ func TestHTTPEndpoints(t *testing.T) {
 // mode=pipelined with no engine param runs dense (matching pooled
 // mode) instead of silently reverting to dijkstra.
 func TestHTTPPipelinedHonorsDenseDefault(t *testing.T) {
-	srv, _ := newGridServer(t, 6, 6, 3, Config{DefaultEngine: dsa.EngineDense, CacheCapacity: 64})
+	srv, _ := newGridServer(t, 6, 6, 3, Config{DefaultEngine: tcq.EngineDense, CacheCapacity: 64})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/query?src=0&dst=35&mode=pipelined")

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/pkg/tcq"
+)
+
+// This file is the versioned HTTP surface of the facade: POST
+// /v1/query and POST /v1/batch, JSON in both directions, speaking
+// pkg/tcq's vocabulary (source/target sets, modes, auto-planned
+// engines, typed error codes). The unversioned GET endpoints remain as
+// thin shims over the same facade (http.go).
+
+// maxBatchRequests bounds one /v1/batch body — a backstop against a
+// single request monopolising the worker pools.
+const maxBatchRequests = 256
+
+// maxQueryPairs bounds the effective (source, target) pair count of
+// one /v1 request: the sources × targets product, reduced by an
+// explicit limit. The same backstop as maxBatchRequests, for the
+// cross-product dimension.
+const maxQueryPairs = 4096
+
+// maxBodyBytes bounds a /v1 request body.
+const maxBodyBytes = 8 << 20
+
+// V1Request is the JSON body of POST /v1/query (and one element of a
+// /v1/batch body): the wire form of tcq.Request.
+type V1Request struct {
+	// Sources and Targets are the query entry and exit sets (required,
+	// non-empty).
+	Sources []int `json:"sources"`
+	Targets []int `json:"targets"`
+	// Mode is connectivity (default), cost or pipelined.
+	Mode string `json:"mode,omitempty"`
+	// Engine forces a concrete engine; empty or "auto" lets the planner
+	// choose.
+	Engine string `json:"engine,omitempty"`
+	// Limit caps the number of answers (0 = all pairs).
+	Limit int `json:"limit,omitempty"`
+}
+
+// toRequest parses the wire form into a facade request.
+func (v V1Request) toRequest() (tcq.Request, error) {
+	mode, err := tcq.ParseMode(v.Mode)
+	if err != nil {
+		return tcq.Request{}, err
+	}
+	engine, err := tcq.ParseEngine(v.Engine)
+	if err != nil {
+		return tcq.Request{}, err
+	}
+	// Bound the work one request can demand: the pair product, after
+	// the limit (a limited stream never evaluates past its limit).
+	pairs := len(v.Sources) * len(v.Targets)
+	if v.Limit > 0 && v.Limit < pairs {
+		pairs = v.Limit
+	}
+	if pairs > maxQueryPairs {
+		return tcq.Request{}, fmt.Errorf("%w: request spans %d pairs, exceeding the %d-pair bound (set a limit)",
+			tcq.ErrInvalidRequest, pairs, maxQueryPairs)
+	}
+	return tcq.Request{Sources: v.Sources, Targets: v.Targets, Mode: mode, Engine: engine, Limit: v.Limit}, nil
+}
+
+// V1Explain is the wire form of the planner's decision.
+type V1Explain struct {
+	Mode      string `json:"mode"`
+	Engine    string `json:"engine"`
+	Canonical string `json:"canonical"`
+	Forced    bool   `json:"forced"`
+	Reason    string `json:"reason"`
+	EntrySize int    `json:"entry_size"`
+	Pairs     int    `json:"pairs"`
+}
+
+// V1Answer is one (source, target) pair answer on the wire.
+type V1Answer struct {
+	Source    int  `json:"source"`
+	Target    int  `json:"target"`
+	Reachable bool `json:"reachable"`
+	// Cost is present only on reachable cost-mode answers (the
+	// library's +Inf does not survive JSON).
+	Cost             *float64 `json:"cost,omitempty"`
+	BestChain        []int    `json:"best_chain,omitempty"`
+	SameFragment     bool     `json:"same_fragment"`
+	Truncated        bool     `json:"truncated"`
+	ChainsConsidered int      `json:"chains_considered"`
+	Sites            int      `json:"sites"`
+	TuplesShipped    int      `json:"tuples_shipped"`
+	ElapsedUS        int64    `json:"elapsed_us"`
+}
+
+// V1QueryResponse is the JSON answer of POST /v1/query.
+type V1QueryResponse struct {
+	Explain     V1Explain  `json:"explain"`
+	Answers     []V1Answer `json:"answers"`
+	LimitHit    bool       `json:"limit_hit"`
+	CacheHits   int        `json:"cache_hits"`
+	CacheMisses int        `json:"cache_misses"`
+	ElapsedUS   int64      `json:"elapsed_us"`
+}
+
+// V1Error is the JSON error envelope of the /v1 endpoints: a
+// human-readable message plus a stable machine code derived from the
+// facade's typed errors.
+type V1Error struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// V1BatchRequest is the JSON body of POST /v1/batch.
+type V1BatchRequest struct {
+	Requests []V1Request `json:"requests"`
+}
+
+// V1BatchItem is one element of a batch response: exactly one of
+// Response and Error is set — batch evaluation is partial-failure
+// tolerant.
+type V1BatchItem struct {
+	Response *V1QueryResponse `json:"response,omitempty"`
+	Error    *V1Error         `json:"error,omitempty"`
+}
+
+// V1BatchResponse is the JSON answer of POST /v1/batch, one item per
+// request in order.
+type V1BatchResponse struct {
+	Results []V1BatchItem `json:"results"`
+}
+
+// errorCode maps a facade error onto (HTTP status, stable code).
+func errorCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, tcq.ErrInvalidRequest):
+		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, tcq.ErrUnknownMode):
+		return http.StatusBadRequest, "unknown_mode"
+	case errors.Is(err, tcq.ErrUnknownEngine):
+		return http.StatusBadRequest, "unknown_engine"
+	case errors.Is(err, tcq.ErrEngineMismatch):
+		return http.StatusBadRequest, "engine_mismatch"
+	case errors.Is(err, tcq.ErrProblemMismatch):
+		return http.StatusBadRequest, "problem_mismatch"
+	case errors.Is(err, tcq.ErrNegativeWeight):
+		return http.StatusBadRequest, "negative_weight"
+	case errors.Is(err, tcq.ErrUnknownNode):
+		return http.StatusNotFound, "unknown_node"
+	case errors.Is(err, tcq.ErrUnknownSite):
+		return http.StatusNotFound, "unknown_site"
+	case errors.Is(err, tcq.ErrNoRoute):
+		return http.StatusNotFound, "no_route"
+	case errors.Is(err, tcq.ErrCanceled):
+		// 499 is the de-facto "client closed request" status; by the
+		// time it is written the client is usually gone anyway.
+		return 499, "canceled"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeV1Error renders a typed error as the /v1 envelope.
+func writeV1Error(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	writeJSON(w, status, V1Error{Error: err.Error(), Code: code})
+}
+
+// v1ResponseFrom renders a facade result on the wire.
+func v1ResponseFrom(res *tcq.Result) *V1QueryResponse {
+	out := &V1QueryResponse{
+		Explain: V1Explain{
+			Mode:      res.Explain.Mode.String(),
+			Engine:    res.Explain.Engine.String(),
+			Canonical: res.Explain.Canonical(),
+			Forced:    res.Explain.Forced,
+			Reason:    res.Explain.Reason,
+			EntrySize: res.Explain.EntrySize,
+			Pairs:     res.Explain.Pairs,
+		},
+		Answers:     make([]V1Answer, 0, len(res.Answers)),
+		LimitHit:    res.LimitHit,
+		CacheHits:   res.CacheHits,
+		CacheMisses: res.CacheMisses,
+		ElapsedUS:   res.Elapsed.Microseconds(),
+	}
+	costMode := res.Explain.Mode != tcq.ModeConnectivity
+	for _, a := range res.Answers {
+		va := V1Answer{
+			Source:           a.Source,
+			Target:           a.Target,
+			Reachable:        a.Reachable,
+			BestChain:        a.BestChain,
+			SameFragment:     a.SameFragment,
+			Truncated:        a.Truncated,
+			ChainsConsidered: a.ChainsConsidered,
+			Sites:            a.Sites,
+			TuplesShipped:    a.TuplesShipped,
+			ElapsedUS:        a.Elapsed.Microseconds(),
+		}
+		if costMode && a.Reachable {
+			cost := a.Cost
+			va.Cost = &cost
+		}
+		out.Answers = append(out.Answers, va)
+	}
+	return out
+}
+
+// handleV1Query serves POST /v1/query.
+func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	var body V1Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&body); err != nil {
+		writeV1Error(w, fmt.Errorf("%w: bad body: %v", tcq.ErrInvalidRequest, err))
+		return
+	}
+	req, err := body.toRequest()
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	res, err := s.facade.Query(r.Context(), req)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v1ResponseFrom(res))
+}
+
+// handleV1Batch serves POST /v1/batch: every request of the body is
+// answered in order, with per-item typed errors — one malformed or
+// unanswerable entry never poisons its neighbours.
+func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
+	var body V1BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&body); err != nil {
+		writeV1Error(w, fmt.Errorf("%w: bad body: %v", tcq.ErrInvalidRequest, err))
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeV1Error(w, fmt.Errorf("%w: empty batch", tcq.ErrInvalidRequest))
+		return
+	}
+	if len(body.Requests) > maxBatchRequests {
+		writeV1Error(w, fmt.Errorf("%w: batch of %d exceeds the %d-request bound",
+			tcq.ErrInvalidRequest, len(body.Requests), maxBatchRequests))
+		return
+	}
+	// Parse every entry first; entries that fail stay as error items
+	// and the parseable remainder goes through the facade batch path.
+	items := make([]V1BatchItem, len(body.Requests))
+	reqs := make([]tcq.Request, 0, len(body.Requests))
+	reqIdx := make([]int, 0, len(body.Requests))
+	for i, vr := range body.Requests {
+		req, err := vr.toRequest()
+		if err != nil {
+			_, code := errorCode(err)
+			items[i] = V1BatchItem{Error: &V1Error{Error: err.Error(), Code: code}}
+			continue
+		}
+		reqs = append(reqs, req)
+		reqIdx = append(reqIdx, i)
+	}
+	batch, batchErr := s.facade.QueryBatch(r.Context(), reqs)
+	for bi, br := range batch {
+		i := reqIdx[bi]
+		if br.Err != nil {
+			_, code := errorCode(br.Err)
+			items[i] = V1BatchItem{Error: &V1Error{Error: br.Err.Error(), Code: code}}
+			continue
+		}
+		items[i] = V1BatchItem{Response: v1ResponseFrom(br.Result)}
+	}
+	if batchErr != nil {
+		// Cancellation mid-batch: the unprocessed suffix gets the
+		// canceled code (the client has usually disconnected).
+		_, code := errorCode(batchErr)
+		for bi := len(batch); bi < len(reqIdx); bi++ {
+			items[reqIdx[bi]] = V1BatchItem{Error: &V1Error{Error: batchErr.Error(), Code: code}}
+		}
+	}
+	writeJSON(w, http.StatusOK, V1BatchResponse{Results: items})
+}

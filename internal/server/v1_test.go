@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/pkg/tcq"
+)
+
+// v1Server boots an 8x8 grid deployment with an auto-planning default
+// behind an httptest server.
+func v1Server(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, _ := newGridServer(t, 8, 8, 2, Config{DefaultEngine: tcq.EngineAuto, CacheCapacity: 256})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postV1 fires one JSON POST and decodes the response into out,
+// returning the status code.
+func postV1(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestV1QueryCost(t *testing.T) {
+	ts := v1Server(t)
+	var vr V1QueryResponse
+	status := postV1(t, ts.URL+"/v1/query", V1Request{
+		Sources: []int{0}, Targets: []int{63}, Mode: "cost",
+	}, &vr)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(vr.Answers) != 1 || !vr.Answers[0].Reachable || vr.Answers[0].Cost == nil {
+		t.Fatalf("bad answer: %+v", vr.Answers)
+	}
+	if vr.Explain.Engine == "" || vr.Explain.Engine == "auto" {
+		t.Fatalf("explain engine must be concrete, got %q", vr.Explain.Engine)
+	}
+	if vr.Explain.Canonical != "cost/"+vr.Explain.Engine {
+		t.Fatalf("canonical %q", vr.Explain.Canonical)
+	}
+
+	// The legacy shim must agree with /v1 on the same pair — the
+	// compatibility oracle for the rewiring.
+	legacy, err := http.Get(ts.URL + "/query?src=0&dst=63")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(legacy.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Reachable || qr.Cost == nil {
+		t.Fatalf("legacy shim: %+v", qr)
+	}
+	if math.Abs(*qr.Cost-*vr.Answers[0].Cost) > 1e-9 {
+		t.Fatalf("legacy cost %v != v1 cost %v", *qr.Cost, *vr.Answers[0].Cost)
+	}
+}
+
+func TestV1QueryConnectivityAndSets(t *testing.T) {
+	ts := v1Server(t)
+	var vr V1QueryResponse
+	status := postV1(t, ts.URL+"/v1/query", V1Request{
+		Sources: []int{0, 1}, Targets: []int{62, 63}, Mode: "connectivity", Limit: 3,
+	}, &vr)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(vr.Answers) != 3 || !vr.LimitHit {
+		t.Fatalf("limit: got %d answers, limit_hit=%v", len(vr.Answers), vr.LimitHit)
+	}
+	for _, a := range vr.Answers {
+		if !a.Reachable || a.Cost != nil {
+			t.Fatalf("connectivity answer: %+v", a)
+		}
+	}
+	if vr.Explain.Pairs != 4 {
+		t.Fatalf("explain pairs = %d, want 4", vr.Explain.Pairs)
+	}
+}
+
+func TestV1TypedErrorCodes(t *testing.T) {
+	ts := v1Server(t)
+	cases := []struct {
+		name       string
+		req        V1Request
+		wantStatus int
+		wantCode   string
+	}{
+		{"empty sources", V1Request{Targets: []int{1}}, http.StatusBadRequest, "invalid_request"},
+		{"bad mode", V1Request{Sources: []int{0}, Targets: []int{1}, Mode: "teleport"}, http.StatusBadRequest, "unknown_mode"},
+		{"bad engine", V1Request{Sources: []int{0}, Targets: []int{1}, Engine: "warp"}, http.StatusBadRequest, "unknown_engine"},
+		{"bitset cost", V1Request{Sources: []int{0}, Targets: []int{1}, Mode: "cost", Engine: "bitset"}, http.StatusBadRequest, "engine_mismatch"},
+		{"unknown node", V1Request{Sources: []int{0}, Targets: []int{9999}, Mode: "cost"}, http.StatusNotFound, "unknown_node"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ve V1Error
+			status := postV1(t, ts.URL+"/v1/query", tc.req, &ve)
+			if status != tc.wantStatus || ve.Code != tc.wantCode {
+				t.Fatalf("got status %d code %q (%s), want %d %q", status, ve.Code, ve.Error, tc.wantStatus, tc.wantCode)
+			}
+		})
+	}
+}
+
+func TestV1Batch(t *testing.T) {
+	ts := v1Server(t)
+	var br V1BatchResponse
+	status := postV1(t, ts.URL+"/v1/batch", V1BatchRequest{Requests: []V1Request{
+		{Sources: []int{0}, Targets: []int{63}, Mode: "cost"},
+		{Sources: []int{0}, Targets: []int{1}, Engine: "warp"}, // per-item failure
+		{Sources: []int{63}, Targets: []int{0}, Mode: "connectivity"},
+	}}, &br)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("got %d results", len(br.Results))
+	}
+	if br.Results[0].Response == nil || br.Results[0].Error != nil ||
+		!br.Results[0].Response.Answers[0].Reachable {
+		t.Fatalf("batch[0]: %+v", br.Results[0])
+	}
+	if br.Results[1].Error == nil || br.Results[1].Error.Code != "unknown_engine" {
+		t.Fatalf("batch[1]: %+v", br.Results[1])
+	}
+	if br.Results[2].Response == nil || len(br.Results[2].Response.Answers) != 1 {
+		t.Fatalf("batch[2]: %+v", br.Results[2])
+	}
+
+	// Batch bounds: empty and oversized bodies are refused whole.
+	var ve V1Error
+	if status := postV1(t, ts.URL+"/v1/batch", V1BatchRequest{}, &ve); status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", status)
+	}
+	big := make([]V1Request, maxBatchRequests+1)
+	for i := range big {
+		big[i] = V1Request{Sources: []int{0}, Targets: []int{1}}
+	}
+	if status := postV1(t, ts.URL+"/v1/batch", V1BatchRequest{Requests: big}, &ve); status != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d", status)
+	}
+}
+
+// TestV1CacheSharedWithLegacy asserts the leg cache serves both
+// surfaces: a /v1 query warms the cache for the legacy shim and vice
+// versa, because both key off the planner's canonical plan.
+func TestV1CacheSharedWithLegacy(t *testing.T) {
+	ts := v1Server(t)
+	var first V1QueryResponse
+	postV1(t, ts.URL+"/v1/query", V1Request{Sources: []int{0}, Targets: []int{63}, Mode: "cost"}, &first)
+	if first.CacheMisses == 0 {
+		t.Fatalf("cold query must miss, got %+v", first)
+	}
+	var second V1QueryResponse
+	postV1(t, ts.URL+"/v1/query", V1Request{Sources: []int{0}, Targets: []int{62}, Mode: "cost"}, &second)
+	if second.CacheHits == 0 {
+		t.Fatalf("same-entry different-target query must hit the leg cache, got %+v", second)
+	}
+	resp, err := http.Get(ts.URL + "/query?src=0&dst=61")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.CacheHits == 0 {
+		t.Fatalf("legacy shim must share the v1-warmed cache, got %+v", qr)
+	}
+}
+
+// TestV1LoadDriver runs the in-process load generator over the v1
+// surface — the same driver CI uses, exercising replay equality.
+func TestV1LoadDriver(t *testing.T) {
+	ts := v1Server(t)
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:         ts.URL,
+		Requests:        40,
+		Parallel:        4,
+		Nodes:           64,
+		Seed:            3,
+		Repeat:          2,
+		API:             "v1",
+		ExpectReachable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Fatalf("v1 load: %d errors, %d mismatches (first issue: %s)", rep.Errors, rep.Mismatches, rep.FirstIssue)
+	}
+	if rep.HitRate == 0 {
+		t.Fatal("replayed v1 load must hit the leg cache")
+	}
+}
+
+// TestFacadeCancellationThroughPools: a canceled context must surface
+// as tcq.ErrCanceled through the server-backed facade (queued legs
+// become no-ops, kernels abort between rounds).
+func TestFacadeCancellationThroughPools(t *testing.T) {
+	srv, _ := newGridServer(t, 8, 8, 2, Config{DefaultEngine: tcq.EngineAuto, CacheCapacity: 64})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := srv.Facade().Query(ctx, tcq.Request{Sources: []int{0}, Targets: []int{63}, Mode: tcq.ModeCost})
+	if !errors.Is(err, tcq.ErrCanceled) {
+		t.Fatalf("got %v, want tcq.ErrCanceled", err)
+	}
+}
+
+// TestV1PairBound: a request spanning more pairs than maxQueryPairs is
+// refused unless a limit brings the effective work under the bound.
+func TestV1PairBound(t *testing.T) {
+	ts := v1Server(t)
+	wide := make([]int, 70)
+	for i := range wide {
+		wide[i] = i % 64
+	}
+	var ve V1Error
+	status := postV1(t, ts.URL+"/v1/query", V1Request{Sources: wide, Targets: wide, Mode: "connectivity"}, &ve)
+	if status != http.StatusBadRequest || ve.Code != "invalid_request" {
+		t.Fatalf("unbounded pair product: status %d code %q", status, ve.Code)
+	}
+	var vr V1QueryResponse
+	status = postV1(t, ts.URL+"/v1/query", V1Request{Sources: wide, Targets: wide, Mode: "connectivity", Limit: 5}, &vr)
+	if status != http.StatusOK || len(vr.Answers) != 5 {
+		t.Fatalf("limited wide request: status %d, %d answers", status, len(vr.Answers))
+	}
+}
+
+// TestFacadeStoreNotOwned: the server-backed facade refuses direct
+// store operations — mutating through it would bypass the server's
+// lock, cache purge and counters.
+func TestFacadeStoreNotOwned(t *testing.T) {
+	srv, _ := newGridServer(t, 6, 6, 2, Config{DefaultEngine: tcq.EngineAuto})
+	if _, err := srv.Facade().InsertEdge(0, 0, 1, 1); !errors.Is(err, tcq.ErrStoreNotOwned) {
+		t.Fatalf("InsertEdge: got %v, want tcq.ErrStoreNotOwned", err)
+	}
+	if _, err := srv.Facade().DeleteEdge(0, 0, 1, 1); !errors.Is(err, tcq.ErrStoreNotOwned) {
+		t.Fatalf("DeleteEdge: got %v, want tcq.ErrStoreNotOwned", err)
+	}
+	if _, _, err := srv.Facade().QueryPath(context.Background(), 0, 35); !errors.Is(err, tcq.ErrStoreNotOwned) {
+		t.Fatalf("QueryPath: got %v, want tcq.ErrStoreNotOwned", err)
+	}
+}

@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"context"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -281,12 +282,19 @@ func levelsOf(succs [][]int32) [][]int32 {
 // chain), DerivedTuples the total number of reachable-component bits
 // set across all computed rows (the intermediate result size at
 // component granularity).
-func bitsetPropagate(succs [][]int32, cyclic []bool, needed []bool, st *Stats) [][]uint64 {
+//
+// Cancellation is observed between dependency levels (the pool's
+// natural barrier): a canceled ctx abandons the remaining levels and
+// returns ErrCanceled.
+func bitsetPropagate(ctx context.Context, succs [][]int32, cyclic []bool, needed []bool, st *Stats) ([][]uint64, error) {
 	m := len(succs)
 	words := (m + 63) / 64
 	rows := make([][]uint64, m)
 	byLevel := levelsOf(succs)
 	for _, level := range byLevel {
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		// Keep only the rows this call actually needs.
 		var work []int32
 		if needed == nil {
@@ -327,7 +335,7 @@ func bitsetPropagate(succs [][]int32, cyclic []bool, needed []bool, st *Stats) [
 		})
 		st.DerivedTuples += int(derived.Load())
 	}
-	return rows
+	return rows, nil
 }
 
 // markNeeded flags every component reachable from the given start
@@ -372,7 +380,10 @@ func BitsetClosure(r *relation.Relation) (*relation.Relation, Stats, error) {
 	}
 	comps, compOf, cyclic := bg.condense()
 	succs := succsOf(bg, comps, compOf)
-	rows := bitsetPropagate(succs, cyclic, nil, &st)
+	rows, err := bitsetPropagate(context.Background(), succs, cyclic, nil, &st)
+	if err != nil {
+		return nil, st, err
+	}
 
 	out := relation.New(pairSchema...)
 	for ci, comp := range comps {
@@ -389,6 +400,13 @@ func BitsetClosure(r *relation.Relation) (*relation.Relation, Stats, error) {
 // entry set is the incoming disconnection set, so only its "magic cone"
 // of the condensation is ever touched.
 func BitsetReachableFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relation, Stats, error) {
+	return BitsetReachableFromCtx(context.Background(), r, sources)
+}
+
+// BitsetReachableFromCtx is BitsetReachableFrom with cancellation: the
+// worker pool observes ctx between dependency levels and a canceled
+// run returns ErrCanceled instead of a partial relation.
+func BitsetReachableFromCtx(ctx context.Context, r *relation.Relation, sources []graph.NodeID) (*relation.Relation, Stats, error) {
 	var st Stats
 	pairs, err := checkEdgeRelation(r)
 	if err != nil {
@@ -426,7 +444,10 @@ func BitsetReachableFrom(r *relation.Relation, sources []graph.NodeID) (*relatio
 		}
 	}
 	needed := markNeeded(succs, starts)
-	rows := bitsetPropagate(succs, cyclic, needed, &st)
+	rows, err := bitsetPropagate(ctx, succs, cyclic, needed, &st)
+	if err != nil {
+		return nil, st, err
+	}
 
 	out := relation.New(pairSchema...)
 	for _, u := range entries {

@@ -1,7 +1,9 @@
 package tc
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -80,7 +82,7 @@ func NewDenseGraph(r *relation.Relation) (*DenseGraph, error) {
 			return nil, errors.New("tc: edge cost is not float64")
 		}
 		if c < 0 {
-			return nil, errors.New("tc: negative edge cost not supported")
+			return nil, fmt.Errorf("tc: %w: cost %v not supported", ErrNegativeWeight, c)
 		}
 		edges = append(edges, edge{from: intern(from), to: intern(to), w: c})
 	}
@@ -141,7 +143,7 @@ func (r *costRow) reset(visited []int32) {
 // iteration. It returns the visited nodes (ascending insertion order is
 // NOT guaranteed), the number of rounds and the number of successful
 // relaxations.
-func (d *DenseGraph) relaxFrom(r *costRow, src int32) (visited []int32, rounds, relaxed int) {
+func (d *DenseGraph) relaxFrom(ctx context.Context, r *costRow, src int32) (visited []int32, rounds, relaxed int) {
 	r.frontier = r.frontier[:0]
 	for k := d.rowStart[src]; k < d.rowStart[src+1]; k++ {
 		v, w := d.colIdx[k], d.weight[k]
@@ -154,15 +156,18 @@ func (d *DenseGraph) relaxFrom(r *costRow, src int32) (visited []int32, rounds, 
 			relaxed++
 		}
 	}
-	visited, rounds, relaxed2 := d.propagate(r, visited)
+	visited, rounds, relaxed2 := d.propagate(ctx, r, visited)
 	return visited, rounds, relaxed + relaxed2
 }
 
 // propagate drains the frontier: each round relaxes the out-edges of
 // every frontier node; strictly improved nodes form the next frontier.
-func (d *DenseGraph) propagate(r *costRow, visited []int32) ([]int32, int, int) {
+// A canceled ctx stops the iteration between rounds with a partial row;
+// callers that care (CostFromCtx) surface ErrCanceled and discard the
+// result.
+func (d *DenseGraph) propagate(ctx context.Context, r *costRow, visited []int32) ([]int32, int, int) {
 	rounds, relaxed := 0, 0
-	for len(r.frontier) > 0 {
+	for len(r.frontier) > 0 && ctx.Err() == nil {
 		rounds++
 		r.next = r.next[:0]
 		for _, u := range r.frontier {
@@ -206,6 +211,14 @@ type costFact struct {
 // all source rows (the critical-path analogue of fixpoint rounds),
 // DerivedTuples the total number of successful relaxations.
 func (d *DenseGraph) CostFrom(sources []graph.NodeID) (*relation.Relation, Stats) {
+	out, st, _ := d.CostFromCtx(context.Background(), sources)
+	return out, st
+}
+
+// CostFromCtx is CostFrom with cancellation: worker rows observe ctx
+// between sources and between frontier rounds, and a canceled run
+// returns ErrCanceled instead of a partial relation.
+func (d *DenseGraph) CostFromCtx(ctx context.Context, sources []graph.NodeID) (*relation.Relation, Stats, error) {
 	var st Stats
 	n := len(d.ids)
 	var srcIdx []int32
@@ -231,7 +244,10 @@ func (d *DenseGraph) CostFrom(sources []graph.NodeID) (*relation.Relation, Stats
 		row := newCostRow(n)
 		sum := 0
 		for si := lo; si < hi; si++ {
-			visited, r, rel := d.relaxFrom(row, srcIdx[si])
+			if ctx.Err() != nil {
+				return
+			}
+			visited, r, rel := d.relaxFrom(ctx, row, srcIdx[si])
 			rounds[si] = r
 			sum += rel
 			facts := make([]costFact, 0, len(visited))
@@ -246,6 +262,9 @@ func (d *DenseGraph) CostFrom(sources []graph.NodeID) (*relation.Relation, Stats
 		}
 		relaxed.Add(int64(sum))
 	})
+	if ctx.Err() != nil {
+		return nil, st, canceled(ctx)
+	}
 	st.DerivedTuples = int(relaxed.Load())
 	for _, r := range rounds {
 		if r > st.Iterations {
@@ -260,7 +279,7 @@ func (d *DenseGraph) CostFrom(sources []graph.NodeID) (*relation.Relation, Stats
 		}
 	}
 	st.ResultTuples = out.Len()
-	return out, st
+	return out, st, nil
 }
 
 // CostVector runs one propagation seeded with the given (node, cost)
@@ -275,6 +294,14 @@ func (d *DenseGraph) CostFrom(sources []graph.NodeID) (*relation.Relation, Stats
 // running cost vector of the previous fragments seeds the next
 // fragment's search.
 func (d *DenseGraph) CostVector(seed map[graph.NodeID]float64) map[graph.NodeID]float64 {
+	out, _ := d.CostVectorCtx(context.Background(), seed)
+	return out
+}
+
+// CostVectorCtx is CostVector with cancellation: the propagation
+// observes ctx between frontier rounds, and a canceled run returns
+// ErrCanceled instead of a partial vector.
+func (d *DenseGraph) CostVectorCtx(ctx context.Context, seed map[graph.NodeID]float64) (map[graph.NodeID]float64, error) {
 	row := newCostRow(len(d.ids))
 	out := make(map[graph.NodeID]float64, len(seed))
 	var visited []int32
@@ -296,11 +323,14 @@ func (d *DenseGraph) CostVector(seed map[graph.NodeID]float64) map[graph.NodeID]
 			row.dist[i] = c
 		}
 	}
-	visited, _, _ = d.propagate(row, visited)
+	visited, _, _ = d.propagate(ctx, row, visited)
+	if ctx.Err() != nil {
+		return nil, canceled(ctx)
+	}
 	for _, v := range visited {
 		out[graph.NodeID(d.ids[v])] = row.dist[v]
 	}
-	return out
+	return out, nil
 }
 
 // DenseCostFrom computes the entry-set-restricted shortest-path costs
@@ -319,7 +349,7 @@ func DenseCostFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Rela
 		if err != nil {
 			return nil, st, err
 		}
-		return shortestFixpoint(seed, edges, &st)
+		return shortestFixpoint(context.Background(), seed, edges, &st)
 	}
 	if err != nil {
 		return nil, st, err

@@ -1,0 +1,30 @@
+package tc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Typed error sentinels of the kernel layer. They are defined here, at
+// the lowest layer that produces them, so that every layer above (dsa,
+// server, pkg/tcq) can re-export the same values and errors.Is matches
+// across the whole stack.
+var (
+	// ErrNegativeWeight reports an edge with a negative cost, which the
+	// non-negative shortest-path kernels (dense Bellman-Ford, the
+	// relational min-cost fixpoint) refuse.
+	ErrNegativeWeight = errors.New("negative edge weight")
+	// ErrCanceled reports that a kernel observed context cancellation
+	// mid-computation and abandoned the (partial) result. Errors wrapping
+	// it also wrap the context's own error, so errors.Is(err,
+	// context.Canceled) and errors.Is(err, context.DeadlineExceeded)
+	// keep working.
+	ErrCanceled = errors.New("query canceled")
+)
+
+// canceled wraps a context error as an ErrCanceled, preserving both
+// sentinels for errors.Is.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("%w (%w)", ErrCanceled, context.Cause(ctx))
+}

@@ -1,6 +1,7 @@
 package tc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -28,7 +29,7 @@ func normalizeEdges(r *relation.Relation) (*relation.Relation, error) {
 			return nil, fmt.Errorf("tc: edge cost %v (%T) is not float64", t[2], t[2])
 		}
 		if c < 0 {
-			return nil, fmt.Errorf("tc: negative edge cost %v not supported", c)
+			return nil, fmt.Errorf("tc: %w: cost %v not supported", ErrNegativeWeight, c)
 		}
 	}
 	return edges.MinBy("cost", "src", "dst")
@@ -50,13 +51,20 @@ func ShortestClosure(r *relation.Relation) (*relation.Relation, Stats, error) {
 	if err != nil {
 		return nil, st, err
 	}
-	return shortestFixpoint(edges, edges, &st)
+	return shortestFixpoint(context.Background(), edges, edges, &st)
 }
 
 // ShortestFrom computes the cheapest path costs from the given source
 // nodes only, seeding the fixpoint with their out-edges (selection
 // pushing, as in ReachableFrom).
 func ShortestFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relation, Stats, error) {
+	return ShortestFromCtx(context.Background(), r, sources)
+}
+
+// ShortestFromCtx is ShortestFrom with cancellation: the fixpoint
+// observes ctx between rounds, and a canceled run returns ErrCanceled
+// instead of a partial relation.
+func ShortestFromCtx(ctx context.Context, r *relation.Relation, sources []graph.NodeID) (*relation.Relation, Stats, error) {
 	var st Stats
 	edges, err := normalizeEdges(r)
 	if err != nil {
@@ -66,7 +74,7 @@ func ShortestFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relat
 	if err != nil {
 		return nil, st, err
 	}
-	return shortestFixpoint(seed, edges, &st)
+	return shortestFixpoint(ctx, seed, edges, &st)
 }
 
 // shortestFixpoint runs the min-cost delta iteration from seed over
@@ -78,7 +86,7 @@ func ShortestFrom(r *relation.Relation, sources []graph.NodeID) (*relation.Relat
 // tuple) and re-aggregated the merged relation once per round. The
 // final relation lists pairs in first-appearance order with their best
 // cost, exactly what the Union+MinBy chain produced.
-func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Relation, Stats, error) {
+func shortestFixpoint(ctx context.Context, seed, edges *relation.Relation, st *Stats) (*relation.Relation, Stats, error) {
 	seedMin, err := seed.MinBy("cost", "src", "dst")
 	if err != nil {
 		return nil, *st, err
@@ -104,7 +112,15 @@ func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Rela
 	if err != nil {
 		return nil, *st, err
 	}
+	// cancelStride bounds how many fold iterations run between ctx
+	// checks: the expensive per-round loops stay interruptible even
+	// when one round derives hundreds of thousands of tuples (the
+	// monolithic Join is then the only uninterruptible unit).
+	const cancelStride = 8192
 	for delta.Len() > 0 {
+		if ctx.Err() != nil {
+			return nil, *st, canceled(ctx)
+		}
 		st.Iterations++
 		joined, err := delta.Join(renamed, []string{"dst"}, []string{"mid"})
 		if err != nil {
@@ -116,7 +132,10 @@ func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Rela
 		// per-(src, dst2) round minimum, in first-appearance order.
 		var round []entry
 		roundPos := make(map[string]int) // key → position in round
-		for _, t := range joined.Tuples() {
+		for ti, t := range joined.Tuples() {
+			if ti%cancelStride == 0 && ctx.Err() != nil {
+				return nil, *st, canceled(ctx)
+			}
 			total := t[2].(float64) + t[4].(float64)
 			buf = relation.Tuple{t[0], t[3]}.AppendKey(buf[:0])
 			if pos, ok := roundPos[string(buf)]; ok {
@@ -131,7 +150,10 @@ func shortestFixpoint(seed, edges *relation.Relation, st *Stats) (*relation.Rela
 		// Commit strict improvements over the known costs; they form the
 		// next delta.
 		improved := relation.New(costSchema...)
-		for _, c := range round {
+		for ci, c := range round {
+			if ci%cancelStride == 0 && ctx.Err() != nil {
+				return nil, *st, canceled(ctx)
+			}
 			buf = relation.Tuple{c.src, c.dst}.AppendKey(buf[:0])
 			if pos, ok := index[string(buf)]; ok {
 				if c.cost >= entries[pos].cost {

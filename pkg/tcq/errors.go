@@ -1,0 +1,69 @@
+package tcq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/dsa"
+)
+
+// Typed errors of the public facade. Every error the package returns
+// wraps exactly one of these sentinels, so callers branch with
+// errors.Is instead of matching message text. Most are re-exports of
+// the layer that first detects the condition (internal/dsa, and through
+// it the internal/tc kernels), which makes errors.Is work identically
+// whether an error bubbled up from a kernel, the planner or the
+// request validator.
+var (
+	// ErrInvalidRequest reports a Request that fails validation: empty
+	// source or target set, or a negative limit.
+	ErrInvalidRequest = errors.New("invalid request")
+	// ErrStoreNotOwned reports a direct store operation (InsertEdge,
+	// DeleteEdge, QueryPath) on a client whose execution is delegated
+	// to a custom Runner: the layer that owns the store (e.g. the HTTP
+	// serving layer) synchronises store access itself, so mutating or
+	// reading it through the client would bypass that layer's locking
+	// and caches. Apply the operation through the owning layer instead.
+	ErrStoreNotOwned = errors.New("store not owned by this client")
+	// ErrUnknownMode reports a mode name or value outside
+	// connectivity|cost|pipelined.
+	ErrUnknownMode = errors.New("unknown mode")
+	// ErrUnknownEngine reports an engine name or value outside
+	// auto|dijkstra|seminaive|bitset|dense.
+	ErrUnknownEngine = dsa.ErrUnknownEngine
+	// ErrUnknownProblem reports a problem name outside
+	// shortestpath|reachability.
+	ErrUnknownProblem = dsa.ErrUnknownProblem
+	// ErrUnknownNode reports a query endpoint that is not a node of the
+	// deployed graph (or belongs to no fragment).
+	ErrUnknownNode = dsa.ErrUnknownNode
+	// ErrUnknownSite reports a fragment/site ID outside the deployment.
+	ErrUnknownSite = dsa.ErrUnknownSite
+	// ErrEngineMismatch reports a forced engine that cannot serve the
+	// requested mode — the connectivity-only bitset engine asked for
+	// costs, or a non-vector-seeded engine asked to pipeline.
+	ErrEngineMismatch = dsa.ErrEngineMismatch
+	// ErrProblemMismatch reports a store whose precomputed problem
+	// cannot serve the requested mode — a reachability store asked for
+	// costs.
+	ErrProblemMismatch = dsa.ErrProblemMismatch
+	// ErrNoRoute reports that no path connects the requested endpoints.
+	// Query answers carry reachability as data (Answer.Reachable); the
+	// conveniences that promise a route (Cost, QueryPath) return this.
+	ErrNoRoute = dsa.ErrNoRoute
+	// ErrNegativeWeight reports a negative edge weight refused by the
+	// cost kernels or by an update.
+	ErrNegativeWeight = dsa.ErrNegativeWeight
+	// ErrCanceled reports that the query observed context cancellation
+	// and abandoned its partial work. Errors wrapping it also wrap the
+	// context's own error, so errors.Is(err, context.Canceled) keeps
+	// working.
+	ErrCanceled = dsa.ErrCanceled
+)
+
+// canceledErr wraps a context error as an ErrCanceled, the same
+// convention as the dsa and tc layers.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("tcq: %w (%w)", ErrCanceled, context.Cause(ctx))
+}

@@ -1,0 +1,173 @@
+package tcq
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sized builds the smallest stats struct the planner distinguishes on.
+func sized(maxNodes int) StoreStats {
+	return StoreStats{Problem: ProblemShortestPath, Sites: 4, MaxSiteNodes: maxNodes}
+}
+
+// entries returns n distinct node IDs.
+func entries(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestPlannerTable(t *testing.T) {
+	small := sized(KernelNodeFloor - 1)
+	large := sized(KernelNodeFloor)
+	fewEntries := entries(KernelEntryFloor - 1)
+	manyEntries := entries(KernelEntryFloor)
+
+	cases := []struct {
+		name    string
+		req     Request
+		stats   StoreStats
+		want    Engine
+		forced  bool
+		wantErr error
+	}{
+		// Connectivity: bitset above either floor, dijkstra below both.
+		{"conn small store small entry", Request{Sources: entries(1), Targets: []int{9}}, small, EngineDijkstra, false, nil},
+		{"conn large store", Request{Sources: entries(1), Targets: []int{9}}, large, EngineBitset, false, nil},
+		{"conn small store large entry", Request{Sources: manyEntries, Targets: []int{9}}, small, EngineBitset, false, nil},
+		{"conn small store near-floor entry", Request{Sources: fewEntries, Targets: []int{9}}, small, EngineDijkstra, false, nil},
+
+		// Cost: dense above either floor, dijkstra below both.
+		{"cost small store small entry", Request{Sources: entries(1), Targets: []int{9}, Mode: ModeCost}, small, EngineDijkstra, false, nil},
+		{"cost large store", Request{Sources: entries(1), Targets: []int{9}, Mode: ModeCost}, large, EngineDense, false, nil},
+		{"cost small store large entry", Request{Sources: manyEntries, Targets: []int{9}, Mode: ModeCost}, small, EngineDense, false, nil},
+
+		// Pipelined: node floor only — entry size is irrelevant.
+		{"pipe small store", Request{Sources: entries(1), Targets: []int{9}, Mode: ModePipelined}, small, EngineDijkstra, false, nil},
+		{"pipe large store", Request{Sources: entries(1), Targets: []int{9}, Mode: ModePipelined}, large, EngineDense, false, nil},
+		{"pipe small store large entry", Request{Sources: manyEntries, Targets: []int{9}, Mode: ModePipelined}, small, EngineDijkstra, false, nil},
+
+		// Forced engines pass through, compatible or not.
+		{"forced seminaive cost", Request{Sources: entries(1), Targets: []int{9}, Mode: ModeCost, Engine: EngineSemiNaive}, large, EngineSemiNaive, true, nil},
+		{"forced bitset conn", Request{Sources: entries(1), Targets: []int{9}, Engine: EngineBitset}, small, EngineBitset, true, nil},
+		{"forced bitset cost", Request{Sources: entries(1), Targets: []int{9}, Mode: ModeCost, Engine: EngineBitset}, large, 0, true, ErrEngineMismatch},
+		{"forced bitset pipelined", Request{Sources: entries(1), Targets: []int{9}, Mode: ModePipelined, Engine: EngineBitset}, large, 0, true, ErrEngineMismatch},
+		{"forced seminaive pipelined", Request{Sources: entries(1), Targets: []int{9}, Mode: ModePipelined, Engine: EngineSemiNaive}, large, 0, true, ErrEngineMismatch},
+
+		// Problem compatibility.
+		{"cost on reachability store", Request{Sources: entries(1), Targets: []int{9}, Mode: ModeCost},
+			StoreStats{Problem: ProblemReachability, MaxSiteNodes: 500}, 0, false, ErrProblemMismatch},
+		{"conn on reachability store", Request{Sources: entries(1), Targets: []int{9}},
+			StoreStats{Problem: ProblemReachability, MaxSiteNodes: 500}, EngineBitset, false, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ex, err := Plan(tc.req, tc.stats)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Plan() err = %v, want errors.Is %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Engine != tc.want {
+				t.Fatalf("Plan() engine = %v, want %v (reason %q)", ex.Engine, tc.want, ex.Reason)
+			}
+			if ex.Forced != tc.forced {
+				t.Fatalf("Plan() forced = %v, want %v", ex.Forced, tc.forced)
+			}
+			if ex.Reason == "" {
+				t.Fatal("Plan() must explain itself")
+			}
+			if ex.Canonical() != ex.Mode.String()+"/"+ex.Engine.String() {
+				t.Fatalf("Canonical() = %q", ex.Canonical())
+			}
+		})
+	}
+}
+
+// TestPlannerEquivalence is the property test of the acceptance
+// criteria: on random requests, the planner-chosen result must match
+// the result of every manually-forced compatible engine, for every
+// mode, at small and large entry-set sizes.
+func TestPlannerEquivalence(t *testing.T) {
+	// Two deployments on either side of the node floor: a 6x6 grid
+	// (small sites → dijkstra) and a 24x24 grid whose two ~288-node
+	// fragments cross KernelNodeFloor (kernel engines).
+	deployments := []struct {
+		name       string
+		w, h, frag int
+	}{
+		{"small-sites", 6, 6, 3},
+		{"large-sites", 24, 24, 2},
+	}
+	modeEngines := map[Mode][]Engine{
+		ModeConnectivity: {EngineDijkstra, EngineSemiNaive, EngineBitset, EngineDense},
+		ModeCost:         {EngineDijkstra, EngineSemiNaive, EngineDense},
+		ModePipelined:    {EngineDijkstra, EngineDense},
+	}
+	ctx := context.Background()
+	for _, d := range deployments {
+		t.Run(d.name, func(t *testing.T) {
+			c, _ := gridClient(t, d.w, d.h, d.frag, BuildOptions{})
+			nodes := d.w * d.h
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 4; trial++ {
+				// Alternate small and large entry sets so both planner
+				// branches are exercised.
+				nsrc := 1
+				if trial%2 == 1 {
+					nsrc = KernelEntryFloor + 1
+				}
+				srcs := make([]int, nsrc)
+				for i := range srcs {
+					srcs[i] = rng.Intn(nodes)
+				}
+				dsts := []int{rng.Intn(nodes), rng.Intn(nodes)}
+				for mode, engines := range modeEngines {
+					req := Request{Sources: srcs, Targets: dsts, Mode: mode}
+					auto, err := c.Query(ctx, req)
+					if err != nil {
+						t.Fatalf("%v auto: %v", mode, err)
+					}
+					if auto.Explain.Forced || auto.Explain.Engine == EngineAuto {
+						t.Fatalf("%v: bad explain %+v", mode, auto.Explain)
+					}
+					for _, eng := range engines {
+						req.Engine = eng
+						forced, err := c.Query(ctx, req)
+						if err != nil {
+							t.Fatalf("%v %v: %v", mode, eng, err)
+						}
+						if len(forced.Answers) != len(auto.Answers) {
+							t.Fatalf("%v %v: %d answers vs auto %d", mode, eng, len(forced.Answers), len(auto.Answers))
+						}
+						for i, fa := range forced.Answers {
+							aa := auto.Answers[i]
+							if fa.Source != aa.Source || fa.Target != aa.Target {
+								t.Fatalf("%v %v: answer %d pair (%d,%d) vs (%d,%d)",
+									mode, eng, i, fa.Source, fa.Target, aa.Source, aa.Target)
+							}
+							if fa.Reachable != aa.Reachable {
+								t.Fatalf("%v %v: pair (%d,%d) reachable %v vs auto(%v) %v",
+									mode, eng, fa.Source, fa.Target, fa.Reachable, auto.Explain.Engine, aa.Reachable)
+							}
+							if mode != ModeConnectivity && fa.Reachable &&
+								math.Abs(fa.Cost-aa.Cost) > 1e-9 {
+								t.Fatalf("%v %v: pair (%d,%d) cost %v vs auto(%v) %v",
+									mode, eng, fa.Source, fa.Target, fa.Cost, auto.Explain.Engine, aa.Cost)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

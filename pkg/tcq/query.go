@@ -1,0 +1,260 @@
+package tcq
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/graph"
+)
+
+// Answer is the result for one (source, target) pair.
+type Answer struct {
+	// Source and Target echo the pair.
+	Source, Target int
+	// Reachable reports whether any path exists along the considered
+	// fragment chains.
+	Reachable bool
+	// Cost is the cheapest path cost for the cost modes (+Inf when
+	// unreachable). Connectivity answers carry Cost 0 — reachability is
+	// the whole answer there, and the connectivity engines do not
+	// compute comparable costs.
+	Cost float64
+	// BestChain is the fragment chain realising Cost (nil when
+	// unreachable or in connectivity mode).
+	BestChain []int
+	// SameFragment reports the single-site fast path.
+	SameFragment bool
+	// Truncated reports that chain enumeration hit the MaxChains bound,
+	// making the answer an upper bound rather than exact.
+	Truncated bool
+	// ChainsConsidered is the number of fragment chains evaluated.
+	ChainsConsidered int
+	// Sites is the number of distinct sites that computed legs.
+	Sites int
+	// PerSite details each involved site's work.
+	PerSite map[int]SiteWork
+	// AssemblyJoins and MaxOperand report the final combination phase —
+	// the paper's "sequence of binary joins between very small
+	// relations".
+	AssemblyJoins int
+	// MaxOperand — see AssemblyJoins.
+	MaxOperand int
+	// TuplesShipped is the total cardinality of the shipped leg
+	// results.
+	TuplesShipped int
+	// Elapsed is the wall-clock time of this pair's evaluation.
+	Elapsed time.Duration
+}
+
+// answerFrom converts an internal result into a facade answer.
+func answerFrom(source, target int, mode Mode, res *dsa.Result) Answer {
+	a := Answer{
+		Source:           source,
+		Target:           target,
+		Reachable:        res.Reachable,
+		Cost:             res.Cost,
+		BestChain:        res.BestChain,
+		SameFragment:     res.SameFragment,
+		Truncated:        res.Truncated,
+		ChainsConsidered: res.ChainsConsidered,
+		Sites:            len(res.PerSite),
+		PerSite:          res.PerSite,
+		AssemblyJoins:    res.Assembly.Joins,
+		MaxOperand:       res.Assembly.MaxOperand,
+		TuplesShipped:    res.TuplesShipped,
+		Elapsed:          res.Elapsed,
+	}
+	if mode == ModeConnectivity {
+		// The connectivity engines carry presence markers, not costs;
+		// zero them so answers are engine-independent.
+		a.Cost = 0
+		a.BestChain = nil
+	}
+	return a
+}
+
+// Result is a fully materialised query response: the planner's
+// decision plus one Answer per (source, target) pair, in canonical
+// order (sources ascending, then targets ascending).
+type Result struct {
+	// Explain is the planner's decision for this request.
+	Explain Explain
+	// Answers holds one entry per evaluated pair.
+	Answers []Answer
+	// LimitHit reports that Request.Limit stopped the evaluation before
+	// every pair was answered.
+	LimitHit bool
+	// CacheHits and CacheMisses aggregate the runner's leg-cache
+	// behaviour across all pairs (zero for direct store execution).
+	CacheHits, CacheMisses int
+	// Elapsed is the wall-clock time of the whole request.
+	Elapsed time.Duration
+}
+
+// Query answers a request: validate once, plan once, evaluate every
+// (source, target) pair, honouring ctx throughout. Unreachable pairs
+// are answers, not errors; hard failures (validation, planning,
+// cancellation, execution) return a typed error and no result.
+func (c *Client) Query(ctx context.Context, req Request) (*Result, error) {
+	start := time.Now()
+	rs, err := c.QueryStream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	res := &Result{Explain: rs.Explain()}
+	for rs.Next() {
+		res.Answers = append(res.Answers, rs.Answer())
+	}
+	if err := rs.Err(); err != nil {
+		return nil, err
+	}
+	res.LimitHit = rs.limitHit
+	res.CacheHits, res.CacheMisses = rs.cacheHits, rs.cacheMisses
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BatchResult pairs one batch entry's result with its error — batch
+// evaluation is partial-failure tolerant, so one invalid request does
+// not poison its neighbours.
+type BatchResult struct {
+	// Result is the entry's response (nil when Err is set).
+	Result *Result
+	// Err is the entry's typed error (nil when Result is set).
+	Err error
+}
+
+// QueryBatch answers several requests in order. Per-request failures
+// land in the corresponding BatchResult.Err; the call itself only
+// fails on cancellation, returning the completed prefix alongside an
+// error wrapping ErrCanceled.
+func (c *Client) QueryBatch(ctx context.Context, reqs []Request) ([]BatchResult, error) {
+	out := make([]BatchResult, 0, len(reqs))
+	for _, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return out, canceledErr(ctx)
+		}
+		res, err := c.Query(ctx, req)
+		out = append(out, BatchResult{Result: res, Err: err})
+	}
+	return out, nil
+}
+
+// QueryStream starts a request and returns an iterator over its
+// answers — the streaming interface for large source × target
+// products, evaluating pairs lazily so a consumer that stops early
+// (or a Limit) never pays for the rest. Validation and planning happen
+// eagerly, so a returned Results is guaranteed to have a resolved
+// Explain.
+//
+// The iteration pattern is the standard scanner shape:
+//
+//	rs, err := client.QueryStream(ctx, req)
+//	for rs.Next() {
+//	        use(rs.Answer())
+//	}
+//	if err := rs.Err(); err != nil { ... }
+func (c *Client) QueryStream(ctx context.Context, req Request) (*Results, error) {
+	canon, err := req.canonical()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := Plan(canon, c.StoreStats())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := ex.Engine.dsa()
+	if err != nil {
+		return nil, err
+	}
+	return &Results{c: c, ctx: ctx, req: canon, explain: ex, engine: eng}, nil
+}
+
+// Results is a lazy answer stream (see Client.QueryStream). It is not
+// safe for concurrent use.
+type Results struct {
+	c       *Client
+	ctx     context.Context
+	req     Request
+	explain Explain
+	engine  dsa.Engine
+
+	i, j    int // next pair: Sources[i] × Targets[j]
+	emitted int
+	cur     Answer
+	err     error
+	closed  bool
+
+	limitHit    bool
+	cacheHits   int
+	cacheMisses int
+}
+
+// Explain returns the planner's decision for the stream's request.
+func (rs *Results) Explain() Explain { return rs.explain }
+
+// Next evaluates the next (source, target) pair. It returns false when
+// the pairs are exhausted, the Limit is reached, the stream is closed,
+// or an error occurred — check Err afterwards.
+func (rs *Results) Next() bool {
+	if rs.err != nil || rs.closed {
+		return false
+	}
+	if rs.i >= len(rs.req.Sources) {
+		return false
+	}
+	if rs.req.Limit > 0 && rs.emitted >= rs.req.Limit {
+		rs.limitHit = true
+		return false
+	}
+	if err := rs.ctx.Err(); err != nil {
+		rs.err = canceledErr(rs.ctx)
+		return false
+	}
+	source := rs.req.Sources[rs.i]
+	target := rs.req.Targets[rs.j]
+	if rs.j++; rs.j >= len(rs.req.Targets) {
+		rs.j = 0
+		rs.i++
+	}
+	res, runStats, err := rs.c.runPair(rs.ctx, source, target, rs.engine, rs.explain.Mode)
+	if err != nil {
+		rs.err = err
+		return false
+	}
+	rs.cacheHits += runStats.CacheHits
+	rs.cacheMisses += runStats.CacheMisses
+	rs.cur = answerFrom(source, target, rs.explain.Mode, res)
+	rs.emitted++
+	return true
+}
+
+// Answer returns the pair answered by the last successful Next.
+func (rs *Results) Answer() Answer { return rs.cur }
+
+// Err returns the first error the stream hit, nil on clean exhaustion.
+func (rs *Results) Err() error { return rs.err }
+
+// Close stops the stream; subsequent Next calls return false. Closing
+// is idempotent and never fails — it exists so streaming call sites
+// can defer resource discipline.
+func (rs *Results) Close() error {
+	rs.closed = true
+	return nil
+}
+
+// runPair executes one pair through the client's runner. Direct store
+// execution runs under the client's read lock, so updates applied
+// through the client serialise against streaming queries pair by pair;
+// a custom runner (the serving layer) owns its own synchronisation and
+// is called lock-free — taking the client lock here would invert the
+// runner's internal lock order against its update path.
+func (c *Client) runPair(ctx context.Context, source, target int, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error) {
+	if c.ownStore {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+	}
+	return c.runner.RunPair(ctx, graph.NodeID(source), graph.NodeID(target), engine, mode)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package tcq
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; timing-sensitive assertions scale their bounds accordingly
+// (instrumented relational joins run ~5-10x slower, and a fixpoint
+// round is not interruptible mid-join).
+const raceEnabled = true

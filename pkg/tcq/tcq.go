@@ -1,0 +1,328 @@
+// Package tcq is the public query facade of the repository: the single
+// programmatic entry point for transitive-closure queries over
+// fragmented graphs with the disconnection set approach (Houtsma, Apers
+// & Ceri, ICDE'93).
+//
+// The packages below it stay what they are — internal/dsa the
+// disconnection-set machinery, internal/tc the evaluation kernels,
+// internal/server the HTTP serving layer — but callers outside those
+// layers go through tcq: build a deployment (Build/BuildStore + Open),
+// describe what they want as a Request (source/target sets, a mode, an
+// optional engine override, a result limit), and let the planner pick
+// the evaluation strategy per query:
+//
+//	client, err := tcq.Build(fr, tcq.BuildOptions{})
+//	res, err := client.Query(ctx, tcq.Request{
+//	        Sources: []int{3}, Targets: []int{97}, Mode: tcq.ModeCost,
+//	})
+//	// res.Explain says which engine answered and why.
+//
+// Everything is context-aware: cancellation propagates through the
+// per-site execution down into the kernels, which observe ctx between
+// fixpoint rounds and propagation levels, and surfaces as ErrCanceled.
+// All errors wrap the package's typed sentinels (errors.Is-able).
+package tcq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment"
+	"repro/internal/graph"
+)
+
+// Problem selects the precomputed path problem of a deployment; it is
+// the dsa problem re-exported so facade callers need not import
+// internal packages.
+type Problem = dsa.Problem
+
+// Re-exported problem values (see dsa.Problem).
+const (
+	// ProblemShortestPath precomputes global minimum costs between
+	// disconnection-set nodes; such stores answer every mode.
+	ProblemShortestPath = dsa.ProblemShortestPath
+	// ProblemReachability precomputes only connectivity; such stores
+	// answer ModeConnectivity and refuse the cost modes.
+	ProblemReachability = dsa.ProblemReachability
+)
+
+// ParseProblem resolves a problem name, case-insensitively; unknown
+// names return an error wrapping ErrUnknownProblem.
+func ParseProblem(name string) (Problem, error) { return dsa.ParseProblem(name) }
+
+// Aliases for the per-query bookkeeping types the facade surfaces, so
+// callers can name them without importing internal packages.
+type (
+	// UpdateStats reports the cost of one applied update.
+	UpdateStats = dsa.UpdateStats
+	// PreprocessStats reports the complementary-information build cost.
+	PreprocessStats = dsa.PreprocessStats
+	// SiteWork summarises one site's contribution to an answer.
+	SiteWork = dsa.SiteWork
+	// Route is a fully materialised shortest path (node sequence +
+	// cost), as reconstructed by QueryPath.
+	Route = dsa.Route
+)
+
+// BuildOptions configures BuildStore/Build.
+type BuildOptions struct {
+	// MaxChains bounds chain enumeration for cyclic fragmentation
+	// graphs (0 = unlimited).
+	MaxChains int
+	// Problem selects the precomputed path problem (default
+	// ProblemShortestPath).
+	Problem Problem
+}
+
+// BuildStore precomputes a disconnection-set deployment from a
+// fragmentation: one site per fragment, complementary information per
+// disconnection set. The returned store is the handle Open (and the
+// serving layer's server.New) accept; callers that only query can use
+// Build and never touch the store.
+func BuildStore(fr *fragment.Fragmentation, opt BuildOptions) (*dsa.Store, error) {
+	return dsa.Build(fr, dsa.Options{MaxChains: opt.MaxChains, Problem: opt.Problem})
+}
+
+// RunStats is the per-pair execution metadata a Runner reports beside
+// the raw result — serving-layer cache behaviour, zero for direct
+// store execution.
+type RunStats struct {
+	// CacheHits and CacheMisses count leg-cache lookups of this pair.
+	CacheHits, CacheMisses int
+}
+
+// Runner executes one planned (source, target) pair query. The default
+// runner executes directly on the store with per-site goroutines; the
+// serving layer (internal/server) plugs in its pooled, leg-cached
+// executor through WithRunner so HTTP traffic and library callers
+// share one facade. The engine is always concrete (the planner has
+// resolved EngineAuto before any RunPair call).
+type Runner interface {
+	RunPair(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error)
+}
+
+// Option configures Open/Build.
+type Option func(*options)
+
+type options struct {
+	runner Runner
+}
+
+// WithRunner replaces the default direct-on-store executor; the
+// serving layer uses it to route facade queries through its worker
+// pools and leg cache.
+func WithRunner(r Runner) Option {
+	return func(o *options) { o.runner = r }
+}
+
+// Client is an open facade over one deployment. It is safe for
+// concurrent use: queries take a read lock, updates a write lock, so
+// in-flight queries never observe a half-applied update.
+type Client struct {
+	mu     sync.RWMutex
+	st     *dsa.Store
+	runner Runner
+	// ownStore marks the default direct-on-store runner: only then does
+	// the client's lock guard query execution (a custom runner
+	// synchronises its own store access).
+	ownStore bool
+	stats    StoreStats
+}
+
+// Open wraps a built store in a facade client.
+func Open(store *dsa.Store, opts ...Option) (*Client, error) {
+	if store == nil {
+		return nil, errors.New("tcq: Open: nil store")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Client{st: store, runner: o.runner}
+	if c.runner == nil {
+		c.runner = storeRunner{st: store}
+		c.ownStore = true
+	}
+	c.stats = CollectStats(store)
+	return c, nil
+}
+
+// Build is BuildStore followed by Open — the one-call path from a
+// fragmentation to a queryable client.
+func Build(fr *fragment.Fragmentation, bopt BuildOptions, opts ...Option) (*Client, error) {
+	st, err := BuildStore(fr, bopt)
+	if err != nil {
+		return nil, err
+	}
+	return Open(st, opts...)
+}
+
+// Close releases the client. The current implementation holds no
+// resources beyond the store, but callers should treat a closed client
+// as unusable — future versions may own worker pools.
+func (c *Client) Close() error { return nil }
+
+// Store exposes the underlying deployment for the internal layers that
+// extend the facade (the serving layer, the phe hierarchical planner).
+// Mutating the store directly bypasses the client's locking; use the
+// client's update methods instead.
+func (c *Client) Store() *dsa.Store { return c.st }
+
+// StoreStats returns the planner inputs collected at Open (refreshed
+// after every update applied through the client, or explicitly with
+// Refresh).
+func (c *Client) StoreStats() StoreStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// Refresh recollects the planner stats from the store — call it after
+// mutating the store outside the client (e.g. the serving layer's
+// update path).
+func (c *Client) Refresh() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = CollectStats(c.st)
+}
+
+// Plan resolves the engine the planner would choose for a request
+// against the client's current stats, without running anything.
+func (c *Client) Plan(req Request) (Explain, error) {
+	return Plan(req, c.StoreStats())
+}
+
+// Preprocessing reports the complementary-information build cost of
+// the deployment.
+func (c *Client) Preprocessing() PreprocessStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.Preprocessing()
+}
+
+// Sites returns the number of deployed sites.
+func (c *Client) Sites() int { return c.StoreStats().Sites }
+
+// Problem returns the precomputed path problem.
+func (c *Client) Problem() Problem { return c.StoreStats().Problem }
+
+// LooselyConnected reports whether the deployed fragmentation graph is
+// acyclic — the precondition for single-chain plans and exact answers.
+func (c *Client) LooselyConnected() bool { return c.StoreStats().LooselyConnected }
+
+// Epoch returns the store's update generation.
+func (c *Client) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.Epoch()
+}
+
+// InsertEdge adds a directed edge with the given weight to the
+// fragment, rebuilding the affected complementary information. It
+// serialises against in-flight queries and refreshes the planner
+// stats. Errors wrap ErrUnknownSite, ErrUnknownNode or
+// ErrNegativeWeight. On a client with a custom Runner the store is
+// owned (and synchronised) by that layer, so direct updates are
+// refused with ErrStoreNotOwned — apply them through the owning layer
+// (the HTTP server's /update path).
+func (c *Client) InsertEdge(fragID, from, to int, weight float64) (UpdateStats, error) {
+	if !c.ownStore {
+		return UpdateStats{}, fmt.Errorf("tcq: InsertEdge: %w", ErrStoreNotOwned)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stats, err := c.st.InsertEdge(fragID, graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: weight})
+	if err == nil {
+		c.stats = CollectStats(c.st)
+	}
+	return stats, err
+}
+
+// DeleteEdge removes one occurrence of the exact (from, to, weight)
+// edge from the fragment — the inverse of InsertEdge, with the same
+// locking, stats refresh and ErrStoreNotOwned refusal.
+func (c *Client) DeleteEdge(fragID, from, to int, weight float64) (UpdateStats, error) {
+	if !c.ownStore {
+		return UpdateStats{}, fmt.Errorf("tcq: DeleteEdge: %w", ErrStoreNotOwned)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stats, err := c.st.DeleteEdge(fragID, graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: weight})
+	if err == nil {
+		c.stats = CollectStats(c.st)
+	}
+	return stats, err
+}
+
+// Connected reports whether target is reachable from source — the
+// paper's "Is A connected to B?" query through the full facade
+// (validation, planner, execution).
+func (c *Client) Connected(ctx context.Context, source, target int) (bool, error) {
+	res, err := c.Query(ctx, Request{Sources: []int{source}, Targets: []int{target}, Mode: ModeConnectivity})
+	if err != nil {
+		return false, err
+	}
+	return res.Answers[0].Reachable, nil
+}
+
+// Cost returns the cheapest path cost from source to target. Unlike
+// Query — which reports unreachability as data — Cost promises a
+// route: unreachable pairs return an error wrapping ErrNoRoute.
+func (c *Client) Cost(ctx context.Context, source, target int) (float64, error) {
+	res, err := c.Query(ctx, Request{Sources: []int{source}, Targets: []int{target}, Mode: ModeCost})
+	if err != nil {
+		return 0, err
+	}
+	if !res.Answers[0].Reachable {
+		return 0, fmt.Errorf("tcq: %w from %d to %d", ErrNoRoute, source, target)
+	}
+	return res.Answers[0].Cost, nil
+}
+
+// QueryPath answers a single-pair cost query and reconstructs the
+// actual node route. Unreachable pairs return an error wrapping
+// ErrNoRoute. Route reconstruction reads the store directly, so — like
+// the update methods — it is refused with ErrStoreNotOwned on a client
+// whose store is owned by a custom Runner.
+func (c *Client) QueryPath(ctx context.Context, source, target int) (Answer, *Route, error) {
+	if !c.ownStore {
+		return Answer{}, nil, fmt.Errorf("tcq: QueryPath: %w", ErrStoreNotOwned)
+	}
+	if err := ctx.Err(); err != nil {
+		return Answer{}, nil, canceledErr(ctx)
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	res, route, err := c.st.QueryPath(graph.NodeID(source), graph.NodeID(target))
+	if err != nil {
+		return Answer{}, nil, err
+	}
+	if route == nil {
+		return Answer{}, nil, fmt.Errorf("tcq: %w from %d to %d", ErrNoRoute, source, target)
+	}
+	return answerFrom(source, target, ModeCost, res), route, nil
+}
+
+// storeRunner is the default executor: direct store execution with one
+// goroutine per involved site (the paper's
+// one-processor-per-fragment).
+type storeRunner struct {
+	st *dsa.Store
+}
+
+// RunPair implements Runner.
+func (r storeRunner) RunPair(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error) {
+	if mode == ModePipelined {
+		res, err := r.st.QueryPipelinedEngineCtx(ctx, source, target, engine)
+		return res, RunStats{}, err
+	}
+	plan, err := r.st.NewPlan(source, target)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	res, err := r.st.RunPlanCtx(ctx, plan, engine, true)
+	return res, RunStats{}, err
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# API-stability gate for the public facade: the rendered documentation
+# of pkg/tcq (go doc -all: every exported symbol, signature and doc
+# comment) is committed as tcq.api, and CI fails when the surface
+# drifts without the golden being regenerated. This is the
+# zero-dependency counterpart of apidiff — signature changes, removed
+# symbols and doc rewrites all show up in the diff.
+#
+# Usage:
+#   scripts/apicheck.sh            # check (CI gate)
+#   scripts/apicheck.sh -update    # regenerate tcq.api after a reviewed change
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go doc -all repro/pkg/tcq >"$tmp"
+
+if [ "${1:-}" = "-update" ]; then
+    cp "$tmp" tcq.api
+    echo "tcq.api regenerated"
+    exit 0
+fi
+
+if ! diff -u tcq.api "$tmp"; then
+    echo
+    echo "FAIL: the public pkg/tcq API drifted from the committed tcq.api golden."
+    echo "If the change is intentional, regenerate with: scripts/apicheck.sh -update"
+    exit 1
+fi
+echo "pkg/tcq API matches tcq.api"
