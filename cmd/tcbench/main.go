@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +24,8 @@ import (
 func main() {
 	var (
 		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
-		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving (empty = all)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving, updates (empty = all)")
+		jsonPath   = flag.String("json", "", "write the experiment result as JSON to this file (updates experiment)")
 		trials     = flag.Int("trials", 10, "random graphs per table")
 		queries    = flag.Int("queries", 20, "queries per performance point")
 		sources    = flag.Int("sources", 2, "entry-set size for the engines and cost experiments")
@@ -124,6 +126,18 @@ func main() {
 			r, err := bench.Serving(*queries, *seed)
 			return formatter{r.Format}, err
 		})
+		run("updates", func() (fmt.Stringer, error) {
+			r, err := bench.Updates(*queries, *seed)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonPath != "" {
+				if err := writeResultJSON(*jsonPath, r); err != nil {
+					return nil, err
+				}
+			}
+			return formatter{r.Format}, nil
+		})
 		run("ablation", func() (fmt.Stringer, error) {
 			var s string
 			for _, f := range []func(int, int64) (*bench.Ablation, error){
@@ -148,6 +162,19 @@ func main() {
 type formatter struct{ f func() string }
 
 func (f formatter) String() string { return f.f() }
+
+// writeResultJSON persists an experiment result as a JSON artifact
+// (the CI perf-trajectory files, e.g. BENCH_updates.json).
+func writeResultJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
 
 // cpuProfileFile and memProfilePath hold the -cpuprofile/-memprofile
 // state so flushProfiles can finalise them on both the normal and the

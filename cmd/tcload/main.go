@@ -12,6 +12,7 @@
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -repeat 2 -expect-reachable -min-hit-rate 0.05
 //	tcload -addr http://127.0.0.1:8642 -pairs queries.txt -mode connected -engine bitset
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -api v1
+//	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -write-rate 0.1 -expect-reachable
 //
 // The -pairs file holds one "src dst" pair per line; # starts a
 // comment.
@@ -41,6 +42,7 @@ func main() {
 		repeat     = flag.Int("repeat", 1, "passes over the same workload (>1 exercises the leg cache)")
 		expectUp   = flag.Bool("expect-reachable", false, "fail on any unreachable answer (oracle for connected graphs)")
 		minHitRate = flag.Float64("min-hit-rate", -1, "fail if the leg-cache hit rate over the run is below this (-1 = no check)")
+		writeRate  = flag.Float64("write-rate", 0, "fraction of slots that fire /v1/update write transactions instead of queries (answer-invariant heavy-edge insert+delete)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,7 @@ func main() {
 		Seed:            *seed,
 		Repeat:          *repeat,
 		ExpectReachable: *expectUp,
+		WriteRate:       *writeRate,
 	}
 	if *pairsFile != "" {
 		pairs, err := readPairs(*pairsFile)

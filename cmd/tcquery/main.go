@@ -14,10 +14,12 @@
 //	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -mode pipelined -engine dense
 //	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -mode connectivity
 //	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -phe 4
+//	tcquery -graph graph.txt -frag frags.txt -src 3 -dst 97 -o json | jq .answers[0].cost
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,8 +45,12 @@ func main() {
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print the plan and per-site work")
 		showPath  = flag.Bool("path", false, "reconstruct and print the actual node route (single-pair cost queries)")
+		output    = flag.String("o", "text", "output format: text or json (machine-readable, one document on stdout)")
 	)
 	flag.Parse()
+	if *output != "text" && *output != "json" {
+		fatal(fmt.Errorf("-o %q: want text or json", *output))
+	}
 	if *graphFile == "" || *fragFile == "" || *src == "" || *dst == "" {
 		fatal(fmt.Errorf("-graph, -frag, -src and -dst are required"))
 	}
@@ -89,10 +95,17 @@ func main() {
 		fatal(err)
 	}
 	defer client.Close()
+	jsonOut := *output == "json"
+	// In JSON mode stdout carries exactly one machine-readable
+	// document; the human-oriented progress lines move to stderr.
+	info := os.Stdout
+	if jsonOut {
+		info = os.Stderr
+	}
 	prep := client.Preprocessing()
-	fmt.Printf("store: %d sites, %d disconnection sets, loosely connected: %v\n",
+	fmt.Fprintf(info, "store: %d sites, %d disconnection sets, loosely connected: %v\n",
 		client.Sites(), prep.DisconnectionSets, client.LooselyConnected())
-	fmt.Printf("preprocessing: %d global searches, %d complementary facts\n",
+	fmt.Fprintf(info, "preprocessing: %d global searches, %d complementary facts\n",
 		prep.DijkstraRuns, prep.PairsStored)
 
 	req := tcq.Request{Sources: sources, Targets: targets, Mode: qmode, Engine: eng, Limit: *limit}
@@ -102,6 +115,9 @@ func main() {
 	// answers single pairs with a planner-resolved engine and pooled
 	// (non-pipelined) evaluation.
 	if *highway >= 0 {
+		if jsonOut {
+			fatal(fmt.Errorf("-o json is not supported with -phe"))
+		}
 		if len(sources) != 1 || len(targets) != 1 {
 			fatal(fmt.Errorf("-phe answers single-pair queries; got %d sources, %d targets", len(sources), len(targets)))
 		}
@@ -145,6 +161,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if jsonOut {
+		if err := writeJSON(client, ctx, res, qmode, *showPath, sources, targets); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("plan: %s (%s)\n", res.Explain.Canonical(), res.Explain.Reason)
 	for _, ans := range res.Answers {
 		switch {
@@ -181,6 +203,91 @@ func main() {
 			fmt.Printf("route: %v\n", route.Nodes)
 		}
 	}
+}
+
+// jsonPlan is the machine-readable rendering of the planner decision.
+type jsonPlan struct {
+	Mode   string `json:"mode"`
+	Engine string `json:"engine"`
+	Forced bool   `json:"forced"`
+	Reason string `json:"reason"`
+	Pairs  int    `json:"pairs"`
+}
+
+// jsonAnswer is one (source, target) pair in -o json output.
+type jsonAnswer struct {
+	Source    int  `json:"source"`
+	Target    int  `json:"target"`
+	Reachable bool `json:"reachable"`
+	// Cost is present only on reachable cost-mode answers (+Inf does
+	// not survive JSON).
+	Cost             *float64 `json:"cost,omitempty"`
+	BestChain        []int    `json:"best_chain,omitempty"`
+	SameFragment     bool     `json:"same_fragment"`
+	Truncated        bool     `json:"truncated"`
+	ChainsConsidered int      `json:"chains_considered"`
+	Sites            int      `json:"sites"`
+	TuplesShipped    int      `json:"tuples_shipped"`
+	ElapsedUS        int64    `json:"elapsed_us"`
+	// Route is the reconstructed node sequence (single-pair cost
+	// queries with -path only).
+	Route []int `json:"route,omitempty"`
+}
+
+// jsonOutput is the single document -o json writes to stdout.
+type jsonOutput struct {
+	Plan      jsonPlan     `json:"plan"`
+	Answers   []jsonAnswer `json:"answers"`
+	LimitHit  bool         `json:"limit_hit"`
+	ElapsedUS int64        `json:"elapsed_us"`
+}
+
+// writeJSON renders the result as one JSON document on stdout — the
+// machine-readable surface for scripting and CI checks.
+func writeJSON(client *tcq.Client, ctx context.Context, res *tcq.Result, qmode tcq.Mode, showPath bool, sources, targets []int) error {
+	out := jsonOutput{
+		Plan: jsonPlan{
+			Mode:   res.Explain.Mode.String(),
+			Engine: res.Explain.Engine.String(),
+			Forced: res.Explain.Forced,
+			Reason: res.Explain.Reason,
+			Pairs:  res.Explain.Pairs,
+		},
+		LimitHit:  res.LimitHit,
+		ElapsedUS: res.Elapsed.Microseconds(),
+	}
+	costMode := qmode != tcq.ModeConnectivity
+	for _, ans := range res.Answers {
+		ja := jsonAnswer{
+			Source:           ans.Source,
+			Target:           ans.Target,
+			Reachable:        ans.Reachable,
+			BestChain:        ans.BestChain,
+			SameFragment:     ans.SameFragment,
+			Truncated:        ans.Truncated,
+			ChainsConsidered: ans.ChainsConsidered,
+			Sites:            ans.Sites,
+			TuplesShipped:    ans.TuplesShipped,
+			ElapsedUS:        ans.Elapsed.Microseconds(),
+		}
+		if costMode && ans.Reachable {
+			cost := ans.Cost
+			ja.Cost = &cost
+		}
+		if showPath && costMode && ans.Reachable && len(sources) == 1 && len(targets) == 1 {
+			_, route, err := client.QueryPath(ctx, ans.Source, ans.Target)
+			if err != nil {
+				return err
+			}
+			for _, n := range route.Nodes {
+				ja.Route = append(ja.Route, int(n))
+			}
+		}
+		out.Answers = append(out.Answers, ja)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // parseNodeSet parses a comma-separated node list.

@@ -11,10 +11,12 @@
 //	tcserver -grid 32x32 -fragments 4 -engine dense -cache 4096
 //	tcserver -grid 64x64 -fragments 8 -pprof   # /debug/pprof/ exposed
 //
-// Endpoints: POST /v1/query and POST /v1/batch (the versioned facade
-// API: source/target sets, modes, auto-planned engines, typed error
-// codes), plus the legacy shims /query, /connected, and /update,
-// /stats, /healthz (see the README's serving section for schemas).
+// Endpoints: POST /v1/query, POST /v1/batch and POST /v1/update (the
+// versioned facade API: source/target sets, modes, auto-planned
+// engines, transactional op batches, typed error codes), plus the
+// legacy shims /query, /connected, and /update, /stats, /healthz (see
+// the README's serving section for schemas). Updates are copy-on-write
+// and never block in-flight queries.
 package main
 
 import (
@@ -70,16 +72,17 @@ func main() {
 	}
 
 	buildStart := time.Now()
-	store, err := tcq.BuildStore(fr, tcq.BuildOptions{MaxChains: *maxChains, Problem: prob})
+	ds, err := tcq.NewDataset(fr, tcq.BuildOptions{MaxChains: *maxChains, Problem: prob})
 	if err != nil {
 		fatal(err)
 	}
-	prep := store.Preprocessing()
+	snap := ds.Snapshot()
+	prep := snap.Preprocessing()
 	fmt.Fprintf(os.Stderr, "tcserver: store built in %v: %d sites, %d disconnection sets, %d complementary facts, loosely connected: %v\n",
-		time.Since(buildStart).Round(time.Millisecond), len(store.Sites()),
-		prep.DisconnectionSets, prep.PairsStored, store.LooselyConnected())
+		time.Since(buildStart).Round(time.Millisecond), snap.Stats().Sites,
+		prep.DisconnectionSets, prep.PairsStored, snap.Stats().LooselyConnected)
 
-	srv, err := server.New(store, server.Config{
+	srv, err := server.NewDataset(ds, server.Config{
 		DefaultEngine: eng,
 		CacheCapacity: *cacheCap,
 		SiteWorkers:   *workers,

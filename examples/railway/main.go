@@ -160,44 +160,41 @@ func main() {
 	fmt.Printf("\nEindhoven -> Maastricht: %.0f minutes, same-fragment plan: %v, sites used: %d\n",
 		dom.Cost, dom.SameFragment, dom.Sites)
 
-	// And a case where the foreign detour genuinely wins: make the
-	// domestic Eindhoven–Maastricht track slow (engineering works, 200
-	// minutes). The Dutch site still answers alone — its complementary
-	// information carries the German shortcut.
-	g2 := graph.New()
-	var sets2 [][]graph.Edge
-	for ci, country := range [][]track{holland, germany, italy} {
-		var edges []graph.Edge
-		for _, t := range country {
-			w := t.min
-			if ci == 0 && t.a == Eindhoven && t.b == Maastricht {
-				w = 200
-			}
-			e := graph.Edge{From: t.a, To: t.b, Weight: w}
-			g2.AddBoth(e)
-			edges = append(edges, e, e.Reverse())
-		}
-		sets2 = append(sets2, edges)
-	}
-	fr2, err := fragment.New(g2, sets2)
+	// And a case where the foreign detour genuinely wins: engineering
+	// works slow the domestic Eindhoven–Maastricht track to 200
+	// minutes. The timetable change is one atomic Batch on the live
+	// deployment — replace both directions of the track in a single
+	// transaction (no rebuild-from-scratch, no half-updated network
+	// ever visible). A snapshot pinned before the works keeps
+	// answering the old timetable, the paper's consistency story for
+	// long-running queries.
+	preWorks := client.Snapshot()
+	var works tcq.Batch
+	works.Delete(0, Eindhoven, Maastricht, 62).Delete(0, Maastricht, Eindhoven, 62).
+		Insert(0, Eindhoven, Maastricht, 200).Insert(0, Maastricht, Eindhoven, 200)
+	applied, err := client.Apply(ctx, &works)
 	if err != nil {
 		log.Fatal(err)
 	}
-	client2, err := tcq.Build(fr2, tcq.BuildOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer client2.Close()
-	slowRes, err := client2.Query(ctx, tcq.Request{
+	fmt.Printf("\nengineering works applied as one %d-op batch: epoch %d, %d site(s) rebuilt, %d shared\n",
+		works.Len(), applied.Epoch, len(applied.Stats.SitesRebuilt), applied.Stats.SitesShared)
+	slowRes, err := client.Query(ctx, tcq.Request{
 		Sources: []int{Eindhoven}, Targets: []int{Maastricht}, Mode: tcq.ModeCost,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	slow := slowRes.Answers[0]
+	gNow := client.Store().Fragmentation().Base()
 	fmt.Printf("with works on the domestic track: %.0f minutes (global says %.0f), sites used: %d\n",
-		slow.Cost, g2.Distance(Eindhoven, Maastricht), slow.Sites)
+		slow.Cost, gNow.Distance(Eindhoven, Maastricht), slow.Sites)
 	fmt.Println("the route crosses Germany, yet only the Dutch site computed")
+	old, err := preWorks.Cost(ctx, Eindhoven, Maastricht)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a passenger still on the pre-works snapshot (epoch %d) is quoted: %.0f minutes\n",
+		preWorks.Epoch(), old)
 }
 
 // stationNames renders node IDs as station names.

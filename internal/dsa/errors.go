@@ -38,6 +38,16 @@ var (
 	// (surfaced by the callers that promise a route, e.g. path
 	// reconstruction and the facade's Cost convenience).
 	ErrNoRoute = errors.New("no route")
+	// ErrEmptyBatch reports an Apply call with no operations.
+	ErrEmptyBatch = errors.New("empty update batch")
+	// ErrEdgeNotFound reports a delete of an edge that is not in the
+	// named fragment (the (from, to, weight) triple must match a stored
+	// fragment edge exactly).
+	ErrEdgeNotFound = errors.New("edge not in fragment")
+	// ErrEmptyFragment reports a delete that would leave a fragment with
+	// no edges — an empty fragment is a processor with no work and a
+	// hole in the fragmentation graph, so the batch is refused.
+	ErrEmptyFragment = errors.New("update would empty fragment")
 
 	// ErrNegativeWeight and ErrCanceled are the kernel-layer sentinels,
 	// re-exported so dsa callers need not import internal/tc: a negative

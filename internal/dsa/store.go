@@ -15,10 +15,14 @@
 package dsa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/fragment"
 	"repro/internal/graph"
@@ -83,9 +87,12 @@ type Site struct {
 	// dense is the CSR snapshot of localRel the dense cost engine runs
 	// on, built lazily once per deployment (updates rebuild the sites,
 	// so a snapshot can never go stale within a site's lifetime).
-	denseOnce sync.Once
-	dense     *tc.DenseGraph
-	denseErr  error
+	// densePrimed records that the build ran — the write path reads it
+	// to pre-warm rebuilt sites off the query path.
+	denseOnce   sync.Once
+	dense       *tc.DenseGraph
+	denseErr    error
+	densePrimed atomic.Bool
 }
 
 // denseKernel returns the site's CSR snapshot, building it on first
@@ -96,6 +103,7 @@ type Site struct {
 // daemon).
 func (s *Site) denseKernel() (*tc.DenseGraph, error) {
 	s.denseOnce.Do(func() {
+		defer s.densePrimed.Store(true)
 		d, err := tc.NewDenseGraph(s.localRel)
 		if err != nil {
 			s.denseErr = fmt.Errorf("dsa: site %d dense snapshot: %v", s.ID, err)
@@ -168,6 +176,15 @@ func ParseProblem(name string) (Problem, error) {
 
 // Store is a fragmentation deployed for disconnection-set query
 // processing.
+//
+// A Store is immutable after Build: queries only read it (the one lazy
+// per-site structure, the dense CSR snapshot, is sync.Once-guarded), so
+// any number of goroutines may query one Store concurrently without
+// locking. Updates go through Apply, which returns a NEW store sharing
+// every untouched site with its predecessor — serving layers swap a
+// store pointer atomically instead of locking readers out. The legacy
+// InsertEdge/DeleteEdge wrappers overwrite the receiver in place and
+// therefore still require external serialisation against readers.
 type Store struct {
 	fr      *fragment.Fragmentation
 	fg      *fragment.FragGraph
@@ -177,11 +194,11 @@ type Store struct {
 	// maxChains bounds chain enumeration for cyclic fragmentation
 	// graphs; 0 means unlimited.
 	maxChains int
-	// epoch counts the updates applied since Build. Every InsertEdge or
-	// DeleteEdge that goes through increments it, so any state derived
-	// from the store (memoized leg results, prepared plans) can be
-	// tagged with the epoch it was computed under and discarded when the
-	// store has moved on.
+	// epoch counts the update batches applied since Build. Every
+	// successful Apply (and the per-op legacy wrappers over it)
+	// increments it, so any state derived from the store (memoized leg
+	// results, prepared plans) can be tagged with the epoch it was
+	// computed under and discarded when the store has moved on.
 	epoch uint64
 }
 
@@ -217,30 +234,81 @@ func Build(fr *fragment.Fragmentation, opt Options) (*Store, error) {
 	dss := fr.DisconnectionSets()
 	st.prep.DisconnectionSets = len(dss)
 
-	// One global single-source search per distinct DS node (a node can
-	// belong to several disconnection sets; share the run). The
-	// shortest-path problem needs Dijkstra; reachability gets away with
-	// BFS — cheaper preprocessing for a weaker complementary table.
+	comp, runs, err := computeComp(context.Background(), base, dss, opt.Problem)
+	if err != nil {
+		return nil, err
+	}
+	st.prep.DijkstraRuns = runs
+
+	for _, f := range fr.Fragments() {
+		site := buildSite(f, base, comp)
+		for _, ci := range site.Comp {
+			st.prep.PairsStored += len(ci.Cost)
+		}
+		st.sites = append(st.sites, site)
+	}
+	return st, nil
+}
+
+// computeComp runs one global single-source search per distinct
+// disconnection-set node (a node can belong to several disconnection
+// sets; the run is shared) and builds the complementary tables. The
+// shortest-path problem needs Dijkstra; reachability gets away with BFS
+// — cheaper preprocessing for a weaker complementary table.
+//
+// The searches are independent, so they fan out over GOMAXPROCS
+// goroutines — this is what keeps a batched update's preprocessing
+// window short (the write path re-runs computeComp on every batch).
+// ctx is observed between searches, so a canceled batched update
+// abandons its preprocessing promptly.
+func computeComp(ctx context.Context, base *graph.Graph, dss map[fragment.Pair][]graph.NodeID, problem Problem) (map[fragment.Pair]*CompInfo, int, error) {
 	distinct := make(map[graph.NodeID]struct{})
 	for _, nodes := range dss {
 		for _, id := range nodes {
 			distinct[id] = struct{}{}
 		}
 	}
-	global := make(map[graph.NodeID]map[graph.NodeID]float64, len(distinct))
+	ids := make([]graph.NodeID, 0, len(distinct))
 	for id := range distinct {
-		switch opt.Problem {
-		case ProblemShortestPath:
-			dist, _ := base.ShortestPaths(id)
-			global[id] = dist
-		case ProblemReachability:
-			dist := make(map[graph.NodeID]float64)
-			for n := range base.Reachable(id) {
-				dist[n] = 1 // presence marker; magnitude is meaningless
+		ids = append(ids, id)
+	}
+	dists := make([]map[graph.NodeID]float64, len(ids))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) || ctx.Err() != nil {
+					return
+				}
+				switch problem {
+				case ProblemShortestPath:
+					dists[i], _ = base.ShortestPaths(ids[i])
+				case ProblemReachability:
+					dist := make(map[graph.NodeID]float64)
+					for n := range base.Reachable(ids[i]) {
+						dist[n] = 1 // presence marker; magnitude is meaningless
+					}
+					dists[i] = dist
+				}
 			}
-			global[id] = dist
-		}
-		st.prep.DijkstraRuns++
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, 0, canceledErr(ctx)
+	}
+	runs := len(ids)
+	global := make(map[graph.NodeID]map[graph.NodeID]float64, len(ids))
+	for i, id := range ids {
+		global[id] = dists[i]
 	}
 
 	comp := make(map[fragment.Pair]*CompInfo, len(dss))
@@ -258,29 +326,31 @@ func Build(fr *fragment.Fragmentation, opt Options) (*Store, error) {
 		}
 		comp[p] = ci
 	}
+	return comp, runs, nil
+}
 
-	for _, f := range fr.Fragments() {
-		site := &Site{
-			ID:    f.ID,
-			Frag:  f,
-			Local: f.Subgraph(base),
-			Comp:  make(map[fragment.Pair]*CompInfo),
-		}
-		site.augmented = site.Local.Clone()
-		for p, ci := range comp {
-			if p.I != f.ID && p.J != f.ID {
-				continue
-			}
-			site.Comp[p] = ci
-			st.prep.PairsStored += len(ci.Cost)
-			for _, e := range ci.ShortcutEdges() {
-				site.augmented.AddEdge(e)
-			}
-		}
-		site.localRel = relation.FromGraph(site.augmented)
-		st.sites = append(st.sites, site)
+// buildSite constructs one deployed site: the fragment's induced
+// subgraph, the complementary tables involving it, and the augmented
+// search graph (local edges plus complementary shortcuts).
+func buildSite(f *fragment.Fragment, base *graph.Graph, comp map[fragment.Pair]*CompInfo) *Site {
+	site := &Site{
+		ID:    f.ID,
+		Frag:  f,
+		Local: f.Subgraph(base),
+		Comp:  make(map[fragment.Pair]*CompInfo),
 	}
-	return st, nil
+	site.augmented = site.Local.Clone()
+	for p, ci := range comp {
+		if p.I != f.ID && p.J != f.ID {
+			continue
+		}
+		site.Comp[p] = ci
+		for _, e := range ci.ShortcutEdges() {
+			site.augmented.AddEdge(e)
+		}
+	}
+	site.localRel = relation.FromGraph(site.augmented)
+	return site
 }
 
 // Fragmentation returns the deployed fragmentation.
@@ -304,8 +374,9 @@ func (st *Store) LooselyConnected() bool { return st.fg.IsLooselyConnected() }
 func (st *Store) Problem() Problem { return st.problem }
 
 // Epoch returns the store's update generation: 0 at Build, incremented
-// by every successful InsertEdge/DeleteEdge. Derived state (caches,
-// prepared plans) tagged with an older epoch is stale. Epoch is not
-// synchronised; callers interleaving queries and updates must serialise
-// access themselves (package server does, with a read-write lock).
+// by every successful update batch (Apply, or the per-op legacy
+// wrappers). Derived state (caches, prepared plans) tagged with an
+// older epoch is stale. On an immutable store obtained from Apply the
+// epoch never changes; only the legacy in-place InsertEdge/DeleteEdge
+// mutate it, and those require external serialisation against readers.
 func (st *Store) Epoch() uint64 { return st.epoch }

@@ -1,21 +1,23 @@
 package dsa
 
 import (
-	"fmt"
+	"context"
+	"errors"
 
-	"repro/internal/fragment"
 	"repro/internal/graph"
 )
 
-// UpdateStats reports the cost of applying one update — the paper's
-// acknowledged weakness: "the disadvantage of the disconnection set
-// approach is mainly due to the pre-processing required for building
-// the complementary information and to the careful treatment of
-// updates. … As long as updates are not too frequent, the
-// pre-processing costs may be amortized over many queries" (§2.1).
+// UpdateStats reports the cost of applying one legacy single-op update
+// — the paper's acknowledged weakness: "the disadvantage of the
+// disconnection set approach is mainly due to the pre-processing
+// required for building the complementary information and to the
+// careful treatment of updates. … As long as updates are not too
+// frequent, the pre-processing costs may be amortized over many
+// queries" (§2.1). Batched callers get the richer BatchStats from
+// Apply.
 type UpdateStats struct {
 	// RecomputedSets is the number of disconnection sets whose
-	// complementary information was rebuilt.
+	// complementary information was recomputed.
 	RecomputedSets int
 	// DijkstraRuns is the number of global single-source searches the
 	// update triggered.
@@ -25,98 +27,40 @@ type UpdateStats struct {
 	LocalOnly bool
 }
 
-// InsertEdge adds a directed edge to fragment fragID and refreshes the
-// affected state. Both endpoints must already be nodes of the base
-// graph (the fragmentation of a growing node set is a fragmentation
-// *design* problem, §5, not an update).
-//
-// Cost analysis, mirroring the paper's discussion:
-//   - the fragment's subgraph and augmented search graph are rebuilt
-//     locally;
-//   - inserting an edge can only shorten global paths, and it can
-//     shorten a (a, b) complementary fact of ANY disconnection set —
-//     so unless the graph is a single fragment, every complementary
-//     table is recomputed. This is the honest worst case; the update
-//     stats make the expense visible so callers can batch.
+// InsertEdge adds a directed edge to fragment fragID and swaps the
+// incrementally rebuilt deployment into the receiver — the legacy
+// single-op wrapper over Apply. Both endpoints must already be nodes
+// of the base graph. Because it overwrites the receiver in place, it
+// requires external serialisation against concurrent readers; prefer
+// Apply, which leaves the receiver untouched and returns a new store
+// readers can be switched to atomically.
 func (st *Store) InsertEdge(fragID int, e graph.Edge) (UpdateStats, error) {
-	if fragID < 0 || fragID >= len(st.sites) {
-		return UpdateStats{}, fmt.Errorf("dsa: %w: fragment %d out of range", ErrUnknownSite, fragID)
-	}
-	base := st.fr.Base()
-	if !base.HasNode(e.From) || !base.HasNode(e.To) {
-		return UpdateStats{}, fmt.Errorf("dsa: %w: edge %v endpoints must be existing nodes", ErrUnknownNode, e)
-	}
-	if e.Weight < 0 {
-		return UpdateStats{}, fmt.Errorf("dsa: %w %v", ErrNegativeWeight, e.Weight)
-	}
-	// Rebuild the base graph + fragmentation with the edge added to the
-	// fragment's edge set.
-	sets := make([][]graph.Edge, st.fr.NumFragments())
-	for i, f := range st.fr.Fragments() {
-		sets[i] = append(sets[i], f.Edges...)
-	}
-	sets[fragID] = append(sets[fragID], e)
-	newBase := base.Clone()
-	newBase.AddEdge(e)
-	return st.replace(newBase, sets)
+	return st.applyInPlace(EdgeOp{Kind: OpInsert, Frag: fragID, Edge: e})
 }
 
 // DeleteEdge removes one occurrence of a directed edge from fragment
-// fragID. Deleting can lengthen global paths, so the complementary
-// information is likewise rebuilt.
+// fragID — the inverse of InsertEdge, with the same in-place swap and
+// serialisation caveat.
 func (st *Store) DeleteEdge(fragID int, e graph.Edge) (UpdateStats, error) {
-	if fragID < 0 || fragID >= len(st.sites) {
-		return UpdateStats{}, fmt.Errorf("dsa: %w: fragment %d out of range", ErrUnknownSite, fragID)
-	}
-	sets := make([][]graph.Edge, st.fr.NumFragments())
-	found := false
-	for i, f := range st.fr.Fragments() {
-		for _, fe := range f.Edges {
-			if i == fragID && !found && fe == e {
-				found = true
-				continue
-			}
-			sets[i] = append(sets[i], fe)
-		}
-	}
-	if !found {
-		return UpdateStats{}, fmt.Errorf("dsa: edge %v not in fragment %d", e, fragID)
-	}
-	if len(sets[fragID]) == 0 {
-		return UpdateStats{}, fmt.Errorf("dsa: deleting %v would empty fragment %d", e, fragID)
-	}
-	// Rebuild the base graph without this one edge occurrence.
-	newBase := graph.New()
-	for _, id := range st.fr.Base().Nodes() {
-		newBase.AddNode(id, st.fr.Base().Coord(id))
-	}
-	for _, s := range sets {
-		for _, fe := range s {
-			newBase.AddEdge(fe)
-		}
-	}
-	return st.replace(newBase, sets)
+	return st.applyInPlace(EdgeOp{Kind: OpDelete, Frag: fragID, Edge: e})
 }
 
-// replace swaps in a new base graph and edge partition, rebuilding the
-// sites and complementary information in place and reporting the cost.
-func (st *Store) replace(newBase *graph.Graph, sets [][]graph.Edge) (UpdateStats, error) {
-	fr, err := fragment.New(newBase, sets)
+// applyInPlace runs a single-op batch and overwrites the receiver with
+// the result, unwrapping the batch envelope to the op's own typed
+// error so the historical error shapes survive.
+func (st *Store) applyInPlace(op EdgeOp) (UpdateStats, error) {
+	next, bs, err := st.Apply(context.Background(), []EdgeOp{op})
 	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) && len(be.Ops) == 1 {
+			return UpdateStats{}, be.Ops[0].Err
+		}
 		return UpdateStats{}, err
 	}
-	fresh, err := Build(fr, Options{MaxChains: st.maxChains, Problem: st.problem})
-	if err != nil {
-		return UpdateStats{}, err
-	}
-	stats := UpdateStats{
-		RecomputedSets: fresh.prep.DisconnectionSets,
-		DijkstraRuns:   fresh.prep.DijkstraRuns,
-		LocalOnly:      fresh.prep.DisconnectionSets == 0,
-	}
-	// Advance the update generation so epoch-tagged derived state
-	// (e.g. the serving layer's leg-result cache) self-invalidates.
-	fresh.epoch = st.epoch + 1
-	*st = *fresh
-	return stats, nil
+	*st = *next
+	return UpdateStats{
+		RecomputedSets: bs.RecomputedSets,
+		DijkstraRuns:   bs.DijkstraRuns,
+		LocalOnly:      bs.LocalOnly,
+	}, nil
 }

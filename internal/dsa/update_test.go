@@ -64,8 +64,12 @@ func TestDeleteEdgeLengthensPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.DijkstraRuns == 0 {
-		t.Error("delete should have rebuilt complementary information")
+	// pathStore's disconnection sets are single nodes, so the
+	// complementary tables are vacuous and the incremental write path
+	// proves no global search is needed — the answers below are the
+	// real oracle.
+	if stats.DijkstraRuns != 0 {
+		t.Errorf("delete ran %d global searches on vacuous complementary tables, want 0", stats.DijkstraRuns)
 	}
 	res, err := st.Query(0, 8, EngineDijkstra)
 	if err != nil {

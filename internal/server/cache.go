@@ -45,8 +45,14 @@ type CacheStats struct {
 	// dropped because their epoch no longer matched the store's.
 	Evictions uint64 `json:"evictions"`
 	Expired   uint64 `json:"expired"`
-	// Purges counts whole-cache invalidations (one per applied update).
-	Purges uint64 `json:"purges"`
+	// Invalidated counts entries dropped eagerly on an update swap
+	// because their site was rebuilt; Retained counts entries retagged
+	// to the new epoch on a swap because their site was structurally
+	// shared (they keep serving hits across the update).
+	Invalidated uint64 `json:"invalidated"`
+	Retained    uint64 `json:"retained"`
+	// Sweeps counts invalidation passes (one per applied batch).
+	Sweeps uint64 `json:"sweeps"`
 }
 
 // HitRate is hits / (hits + misses), 0 when no lookups happened.
@@ -59,15 +65,17 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // cacheEntry is one memoized leg: the full (unfiltered) fact relation
-// of ExecuteLegFull and its stats, tagged with the store epoch it was
-// computed under. The relation is shared read-only across queries;
-// FilterLegFacts builds a fresh tuple list (sharing immutable tuple
-// storage), never mutates the cached relation.
+// of ExecuteLegFull and its stats, tagged with the site it was
+// computed on and the store epoch it was computed under. The relation
+// is shared read-only across queries; FilterLegFacts builds a fresh
+// tuple list (sharing immutable tuple storage), never mutates the
+// cached relation.
 type cacheEntry struct {
-	key   string
-	epoch uint64
-	rel   *relation.Relation
-	stats tc.Stats
+	key    string
+	siteID int
+	epoch  uint64
+	rel    *relation.Relation
+	stats  tc.Stats
 }
 
 // legCache is a bounded, epoch-aware LRU over leg computations. It is
@@ -121,7 +129,7 @@ func (c *legCache) get(key string, epoch uint64) (*relation.Relation, tc.Stats, 
 
 // put memoizes a leg computation, evicting the least recently used
 // entry when the bound is exceeded.
-func (c *legCache) put(key string, epoch uint64, rel *relation.Relation, stats tc.Stats) {
+func (c *legCache) put(key string, siteID int, epoch uint64, rel *relation.Relation, stats tc.Stats) {
 	if c == nil || c.cap == 0 {
 		return
 	}
@@ -130,11 +138,11 @@ func (c *legCache) put(key string, epoch uint64, rel *relation.Relation, stats t
 	if el, ok := c.byKey[key]; ok {
 		// Concurrent queries can race to fill the same key; keep the
 		// newest epoch and refresh recency.
-		el.Value = &cacheEntry{key: key, epoch: epoch, rel: rel, stats: stats}
+		el.Value = &cacheEntry{key: key, siteID: siteID, epoch: epoch, rel: rel, stats: stats}
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, rel: rel, stats: stats})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, siteID: siteID, epoch: epoch, rel: rel, stats: stats})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -143,18 +151,52 @@ func (c *legCache) put(key string, epoch uint64, rel *relation.Relation, stats t
 	}
 }
 
-// purge drops every entry; called after each applied update. The epoch
-// tags make purging a memory-reclamation measure rather than a
-// correctness requirement.
-func (c *legCache) purge() {
-	if c == nil {
+// invalidate is the eager per-fragment sweep run on every update swap:
+// entries computed on a rebuilt site are dropped immediately (no
+// lingering until LRU pressure or an epoch-tag miss), while entries on
+// structurally shared sites — whose augmented graph is pointer-
+// identical across the swap, so their relations are still exact — are
+// retagged to the new epoch and keep serving hits. This is what lets
+// the leg cache survive single-fragment updates with its working set
+// intact.
+//
+// Only entries tagged with the epoch this swap supersedes (newEpoch-1)
+// are eligible for retagging: the sweep's rebuilt-site list describes
+// exactly that one transition. An entry put by a query still running
+// on an OLDER pinned snapshot may predate intermediate rebuilds of its
+// site that this sweep knows nothing about, so anything older is
+// dropped — retagging it would revive stale data as current. Entries
+// already tagged newEpoch were computed on the new generation and are
+// left untouched.
+func (c *legCache) invalidate(rebuiltSites []int, newEpoch uint64) {
+	if c == nil || c.cap == 0 {
 		return
+	}
+	rebuilt := make(map[int]bool, len(rebuiltSites))
+	for _, id := range rebuiltSites {
+		rebuilt[id] = true
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	c.byKey = make(map[string]*list.Element)
-	c.stats.Purges++
+	c.stats.Sweeps++
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ent := el.Value.(*cacheEntry)
+		switch {
+		case ent.epoch == newEpoch:
+			// Computed on the generation this sweep announces.
+		case ent.epoch == newEpoch-1 && !rebuilt[ent.siteID]:
+			ent.epoch = newEpoch
+			c.stats.Retained++
+		default:
+			// Rebuilt site, a lagging put from an older snapshot, or
+			// (impossibly, but defensively) a fresher epoch.
+			c.ll.Remove(el)
+			delete(c.byKey, ent.key)
+			c.stats.Invalidated++
+		}
+	}
 }
 
 // snapshot returns the current counters.

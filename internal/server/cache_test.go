@@ -16,13 +16,13 @@ func rel(n int) *relation.Relation {
 
 func TestLegCacheLRUEviction(t *testing.T) {
 	c := newLegCache(2)
-	c.put("a", 0, rel(1), tc.Stats{})
-	c.put("b", 0, rel(2), tc.Stats{})
+	c.put("a", 0, 0, rel(1), tc.Stats{})
+	c.put("b", 0, 0, rel(2), tc.Stats{})
 	// Touch a so b is the least recently used.
 	if _, _, ok := c.get("a", 0); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", 0, rel(3), tc.Stats{})
+	c.put("c", 0, 0, rel(3), tc.Stats{})
 	if _, _, ok := c.get("b", 0); ok {
 		t.Error("b should have been evicted (LRU)")
 	}
@@ -43,7 +43,7 @@ func TestLegCacheLRUEviction(t *testing.T) {
 
 func TestLegCacheEpochMismatch(t *testing.T) {
 	c := newLegCache(4)
-	c.put("k", 1, rel(1), tc.Stats{})
+	c.put("k", 0, 1, rel(1), tc.Stats{})
 	if _, _, ok := c.get("k", 2); ok {
 		t.Fatal("stale-epoch entry served")
 	}
@@ -55,29 +55,71 @@ func TestLegCacheEpochMismatch(t *testing.T) {
 		t.Errorf("entries = %d, want 0 (stale entry dropped)", s.Entries)
 	}
 	// Refill under the new epoch works.
-	c.put("k", 2, rel(1), tc.Stats{})
+	c.put("k", 0, 2, rel(1), tc.Stats{})
 	if _, _, ok := c.get("k", 2); !ok {
 		t.Error("fresh entry missing")
 	}
 }
 
-func TestLegCachePurge(t *testing.T) {
-	c := newLegCache(4)
-	c.put("a", 0, rel(1), tc.Stats{})
-	c.put("b", 0, rel(2), tc.Stats{})
-	c.purge()
-	if _, _, ok := c.get("a", 0); ok {
-		t.Error("a survived purge")
+// TestLegCacheInvalidateSweep pins the eager per-fragment sweep: on an
+// update swap, entries of rebuilt sites are dropped immediately while
+// entries of structurally shared sites are retagged to the new epoch
+// and keep serving — no stale entries lingering until LRU pressure,
+// no warm entries lost to a blanket purge.
+func TestLegCacheInvalidateSweep(t *testing.T) {
+	c := newLegCache(8)
+	c.put("a", 0, 0, rel(1), tc.Stats{}) // site 0: rebuilt below
+	c.put("b", 1, 0, rel(2), tc.Stats{}) // site 1: shared below
+	c.put("d", 2, 0, rel(3), tc.Stats{}) // site 2: shared below
+	c.invalidate([]int{0}, 1)
+	if _, _, ok := c.get("a", 1); ok {
+		t.Error("rebuilt-site entry survived the sweep")
+	}
+	// Shared-site entries serve at the NEW epoch without recomputation.
+	if _, _, ok := c.get("b", 1); !ok {
+		t.Error("shared-site entry b lost its retagged epoch")
+	}
+	if _, _, ok := c.get("d", 1); !ok {
+		t.Error("shared-site entry d lost its retagged epoch")
 	}
 	s := c.snapshot()
-	if s.Purges != 1 || s.Entries != 0 {
-		t.Errorf("purges = %d entries = %d, want 1 and 0", s.Purges, s.Entries)
+	if s.Invalidated != 1 || s.Retained != 2 || s.Sweeps != 1 {
+		t.Errorf("invalidated = %d retained = %d sweeps = %d, want 1, 2, 1", s.Invalidated, s.Retained, s.Sweeps)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+// TestLegCacheInvalidateDropsLaggingPuts pins the staleness guard: an
+// entry put by a query that was still running on an OLD pinned
+// snapshot may predate intermediate rebuilds of its site, so a later
+// sweep must drop it rather than retag it — even though its site is
+// not in the current sweep's rebuilt list.
+func TestLegCacheInvalidateDropsLaggingPuts(t *testing.T) {
+	c := newLegCache(8)
+	// Epoch 0→1 rebuilds site 3; the key is not cached yet.
+	c.invalidate([]int{3}, 1)
+	// A query pinned at epoch 0 finishes late and puts its (stale for
+	// epoch ≥ 1) site-3 leg under epoch 0.
+	c.put("lag", 3, 0, rel(1), tc.Stats{})
+	// Epoch 1→2 touches only site 5. Site 3 is "shared" in THIS
+	// transition, but the lagging entry predates the 0→1 rebuild.
+	c.invalidate([]int{5}, 2)
+	if _, _, ok := c.get("lag", 2); ok {
+		t.Fatal("lagging old-epoch entry was revived as current — stale data served")
+	}
+	// A current-epoch entry put between swap and sweep survives as is.
+	c.put("fresh", 5, 3, rel(2), tc.Stats{})
+	c.invalidate([]int{1}, 3)
+	if _, _, ok := c.get("fresh", 3); !ok {
+		t.Fatal("entry computed on the new generation must survive its own sweep")
 	}
 }
 
 func TestLegCacheDisabled(t *testing.T) {
 	c := newLegCache(0)
-	c.put("a", 0, rel(1), tc.Stats{})
+	c.put("a", 0, 0, rel(1), tc.Stats{})
 	if _, _, ok := c.get("a", 0); ok {
 		t.Error("capacity-0 cache stored an entry")
 	}

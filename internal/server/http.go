@@ -72,14 +72,17 @@ type errorResponse struct {
 // Handler returns the HTTP API. The versioned surface is the facade
 // on the wire: POST /v1/query and POST /v1/batch (JSON bodies with
 // source/target sets, modes, auto-planned engines and typed error
-// codes — see package tcq). The unversioned GET endpoints /query and
-// /connected remain as thin shims over the same facade for existing
-// clients, alongside /update, /stats and /healthz.
+// codes — see package tcq), and POST /v1/update (transactional op
+// batches with per-op typed error codes). The unversioned GET
+// endpoints /query and /connected remain as thin shims over the same
+// facade for existing clients, alongside /update (a single-op shim
+// over the batch path), /stats and /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/query", s.handleV1Query)
 	mux.HandleFunc("POST /v1/batch", s.handleV1Batch)
+	mux.HandleFunc("POST /v1/update", s.handleV1Update)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /connected", s.handleConnected)
 	mux.HandleFunc("POST /update", s.handleUpdate)
@@ -256,9 +259,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	epoch := s.st.Epoch()
-	s.mu.RUnlock()
+	epoch := s.ds.Epoch()
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Op:             req.Op,
 		Epoch:          epoch,

@@ -52,6 +52,25 @@ type LoadConfig struct {
 	// the oracle for workloads on connected graphs (grids), where an
 	// unreachable answer can only be a server bug.
 	ExpectReachable bool
+	// WriteRate is the fraction of workload slots that become write
+	// transactions instead of queries (0 = read-only). A write slot
+	// fires one POST /v1/update batch that inserts a heavy shortcut
+	// edge (weight 1e9 — far above any real path cost, so query
+	// answers are invariant) and deletes it again in the same
+	// transaction: a net no-op on the data that still forces a full
+	// epoch swap, fragment rebuild and cache invalidation. Mixing
+	// writes this way keeps the replay oracle exact while measuring
+	// read latency under sustained update pressure.
+	WriteRate float64
+	// WriteEdges optionally pins the write transactions to explicit
+	// (fragment, from, to) triples — write slot i uses entry i modulo
+	// the list. With endpoints already inside the named fragment, a
+	// write stays a single-fragment update (the incremental write
+	// path's fast case); left empty, writes use the slot's random node
+	// pair on fragment 0, which usually drags foreign nodes into the
+	// fragment and forces a full complementary recomputation — the
+	// worst case.
+	WriteEdges [][3]int
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
 }
@@ -81,6 +100,13 @@ type LoadReport struct {
 	// the run, HitRate their ratio (0 when no lookups).
 	CacheHits, CacheMisses uint64
 	HitRate                float64
+	// Writes counts the update transactions fired (WriteRate > 0), and
+	// WriteP50/WriteP95/WriteP99 their latency percentiles.
+	Writes                       int
+	WriteP50, WriteP95, WriteP99 time.Duration
+	// EpochDelta is the server epoch advance over the run — one per
+	// applied transaction.
+	EpochDelta uint64
 }
 
 // Format renders the report as a human-readable block.
@@ -101,6 +127,11 @@ func (r *LoadReport) Format() string {
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
 	fmt.Fprintf(&sb, "leg cache: %d hits, %d misses, hit rate %.1f%%\n",
 		r.CacheHits, r.CacheMisses, 100*r.HitRate)
+	if r.Writes > 0 {
+		fmt.Fprintf(&sb, "writes: %d (epoch +%d)  write latency p50: %v  p95: %v  p99: %v\n",
+			r.Writes, r.EpochDelta, r.WriteP50.Round(time.Microsecond),
+			r.WriteP95.Round(time.Microsecond), r.WriteP99.Round(time.Microsecond))
+	}
 	if r.FirstIssue != "" {
 		fmt.Fprintf(&sb, "first issue: %s\n", r.FirstIssue)
 	}
@@ -142,6 +173,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.WriteRate < 0 || cfg.WriteRate >= 1 {
+		return nil, fmt.Errorf("server: load: WriteRate %v out of [0, 1)", cfg.WriteRate)
+	}
 	pairs := cfg.Pairs
 	if len(pairs) == 0 {
 		if cfg.Nodes <= 0 {
@@ -156,6 +190,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			pairs[i] = [2]int{rng.Intn(cfg.Nodes), rng.Intn(cfg.Nodes)}
 		}
 	}
+	// Write slots are chosen per index (not per pass), so replay passes
+	// repeat the same read/write interleaving and the replay oracle
+	// stays aligned with its baseline.
+	writeSlot := make([]bool, len(pairs))
+	if cfg.WriteRate > 0 {
+		wrng := rand.New(rand.NewSource(cfg.Seed + 1))
+		for i := range writeSlot {
+			writeSlot[i] = wrng.Float64() < cfg.WriteRate
+		}
+	}
 
 	client := &http.Client{Timeout: cfg.Timeout}
 	statsBefore, err := fetchStats(client, cfg.BaseURL)
@@ -166,11 +210,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep := &LoadReport{}
 	baseline := make([]answer, len(pairs))
 	latencies := make([]time.Duration, 0, len(pairs)*cfg.Repeat)
+	var writeLats []time.Duration
 	var (
-		mu         sync.Mutex // guards latencies and FirstIssue
+		mu         sync.Mutex // guards latencies, writeLats and FirstIssue
 		errorsN    atomic.Int64
 		mismatches atomic.Int64
 		unreach    atomic.Int64
+		writesN    atomic.Int64
 	)
 	issue := func(format string, args ...any) {
 		mu.Lock()
@@ -190,8 +236,25 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			go func() {
 				defer wg.Done()
 				local := make([]time.Duration, 0, len(pairs)/cfg.Parallel+1)
+				localWrites := []time.Duration(nil)
 				for i := range idx {
 					p := pairs[i]
+					if writeSlot[i] {
+						frag, from, to := 0, p[0], p[1]
+						if len(cfg.WriteEdges) > 0 {
+							we := cfg.WriteEdges[i%len(cfg.WriteEdges)]
+							frag, from, to = we[0], we[1], we[2]
+						}
+						t0 := time.Now()
+						err := fireUpdate(client, cfg, frag, from, to)
+						localWrites = append(localWrites, time.Since(t0))
+						writesN.Add(1)
+						if err != nil {
+							errorsN.Add(1)
+							issue("update fragment %d edge %d->%d: %v", frag, from, to, err)
+						}
+						continue
+					}
 					t0 := time.Now()
 					ans, err := fire(client, cfg, p[0], p[1])
 					local = append(local, time.Since(t0))
@@ -218,6 +281,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 				}
 				mu.Lock()
 				latencies = append(latencies, local...)
+				writeLats = append(writeLats, localWrites...)
 				mu.Unlock()
 			}()
 		}
@@ -244,6 +308,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if n := len(latencies); n > 0 {
 		rep.Max = latencies[n-1]
 	}
+	rep.Writes = int(writesN.Load())
+	sort.Slice(writeLats, func(i, j int) bool { return writeLats[i] < writeLats[j] })
+	rep.WriteP50 = percentile(writeLats, 0.50)
+	rep.WriteP95 = percentile(writeLats, 0.95)
+	rep.WriteP99 = percentile(writeLats, 0.99)
 
 	statsAfter, err := fetchStats(client, cfg.BaseURL)
 	if err != nil {
@@ -254,7 +323,42 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
 		rep.HitRate = float64(rep.CacheHits) / float64(total)
 	}
+	rep.EpochDelta = statsAfter.Epoch - statsBefore.Epoch
 	return rep, nil
+}
+
+// fireUpdate sends one write transaction over POST /v1/update: insert
+// a heavy (answer-invariant) shortcut edge into the fragment and
+// delete it again in the same atomic batch.
+func fireUpdate(client *http.Client, cfg LoadConfig, frag, src, dst int) error {
+	const heavy = 1e9
+	body, err := json.Marshal(V1UpdateRequest{Ops: []V1UpdateOp{
+		{Op: "insert", Fragment: frag, From: src, To: dst, Weight: heavy},
+		{Op: "delete", Fragment: frag, From: src, To: dst, Weight: heavy},
+	}})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(cfg.BaseURL+"/v1/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var ur V1UpdateResponse
+	if err := json.Unmarshal(raw, &ur); err != nil {
+		return fmt.Errorf("bad /v1/update body: %v", err)
+	}
+	if ur.Applied != 2 {
+		return fmt.Errorf("/v1/update applied %d ops, want 2", ur.Applied)
+	}
+	return nil
 }
 
 // fire sends one query over the configured API surface and extracts

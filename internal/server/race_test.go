@@ -1,20 +1,23 @@
 package server
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/dsa"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 // TestConcurrentQueriesAndUpdates is the race-detector stress test for
 // the serving layer: pooled cost queries, connectivity queries on every
 // engine, pipelined queries and edge inserts/deletes all interleave on
-// one server. It guards the epoch-tagged cache invalidation and the
-// read-write locking around the in-place store rebuild — run with
-// -race (CI always does).
+// one server. It guards the epoch-tagged cache, the eager per-fragment
+// invalidation sweep and the lock-free snapshot-pinning read path
+// around the copy-on-write store swap — run with -race (CI always
+// does).
 func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	srv, st := newGridServer(t, 6, 6, 3, Config{CacheCapacity: 128, SiteWorkers: 2})
 	nodes := st.Fragmentation().Base().NumNodes()
@@ -79,18 +82,34 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 	}()
 
 	// An updater inserting and deleting the same shortcut, forcing
-	// epoch bumps and cache purges while queries are in flight.
+	// epoch bumps and eager cache sweeps while queries are in flight.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		e := graph.Edge{From: 0, To: 14, Weight: 0.5}
-		for i := 0; i < 6; i++ {
+		for i := 0; i < 4; i++ {
 			if _, err := srv.InsertEdge(0, e); err != nil {
 				t.Errorf("insert %d: %v", i, err)
 				return
 			}
 			if _, err := srv.DeleteEdge(0, e); err != nil {
 				t.Errorf("delete %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// A transactional writer applying multi-op batches through the
+	// dataset — the /v1/update path — concurrently with the per-op
+	// legacy updater above (writers serialise on the dataset's gate).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			var b tcq.Batch
+			b.Insert(1, 6, 20, 0.75).Delete(1, 6, 20, 0.75)
+			if _, err := srv.ApplyBatch(context.Background(), &b); err != nil {
+				t.Errorf("batch %d: %v", i, err)
 				return
 			}
 		}

@@ -1,5 +1,5 @@
-// Package server is the long-lived query-serving layer over a
-// dsa.Store: persistent per-site worker pools (the paper's processors,
+// Package server is the long-lived query-serving layer over a tcq
+// dataset: persistent per-site worker pools (the paper's processors,
 // kept alive across queries), a bounded LRU leg-result cache that
 // memoizes the expensive half of leg execution across queries, and an
 // HTTP/JSON API. It turns the one-shot library pipeline into the
@@ -7,11 +7,17 @@
 // many concurrent queries interleave their per-site legs exactly the
 // way the paper's sites would interleave independent subqueries.
 //
-// Concurrency model: queries hold a read lock for their whole
-// plan-execute-assemble span; updates (InsertEdge/DeleteEdge) hold the
-// write lock, so they serialise against in-flight queries, then bump
-// the store epoch and purge the cache. Cache entries are epoch-tagged,
-// making staleness impossible even if a purge were missed.
+// Concurrency model: reads are lock-free — every query pins the
+// immutable store generation current when it starts (one atomic
+// pointer load through tcq.Dataset) and runs on it to completion.
+// Updates build the next generation copy-on-write off to the side
+// (only the touched fragments are re-preprocessed) and swap the
+// pointer, so writers never block readers and vice versa. On every
+// swap the leg cache is invalidated eagerly per changed fragment:
+// entries computed on rebuilt sites are dropped, entries on
+// structurally shared sites are retagged to the new epoch and keep
+// serving. Cache entries remain epoch-tagged, making staleness
+// impossible even if an invalidation were missed.
 package server
 
 import (
@@ -40,18 +46,16 @@ type Config struct {
 	SiteWorkers int
 }
 
-// Server is a live deployment: a store, its worker pools and the
+// Server is a live deployment: a dataset, its worker pools and the
 // leg-result cache.
 type Server struct {
-	// mu guards st: queries and stats take the read side, updates the
-	// write side (dsa updates rebuild the store in place).
-	mu     sync.RWMutex
-	st     *dsa.Store
-	cache  *legCache
-	pools  *sitePools
-	cfg    Config
-	facade *tcq.Client
-	start  time.Time
+	ds          *tcq.Dataset
+	cache       *legCache
+	pools       *sitePools
+	cfg         Config
+	facade      *tcq.Client
+	unsubscribe func()
+	start       time.Time
 
 	queries    atomic.Uint64
 	connected  atomic.Uint64
@@ -62,10 +66,26 @@ type Server struct {
 	siteBusyNS []atomic.Int64
 }
 
-// New deploys a server over a built store.
+// New deploys a server over a built store, wrapping it in a dataset.
 func New(st *dsa.Store, cfg Config) (*Server, error) {
 	if st == nil {
 		return nil, fmt.Errorf("server: nil store")
+	}
+	ds, err := tcq.OpenDataset(st)
+	if err != nil {
+		return nil, err
+	}
+	return NewDataset(ds, cfg)
+}
+
+// NewDataset deploys a server over a dataset — the write-capable
+// facade handle. The server registers an OnApply subscriber for eager
+// per-fragment cache invalidation, so batches applied through ANY
+// holder of the dataset (the server's endpoints, a library caller)
+// keep the leg cache coherent.
+func NewDataset(ds *tcq.Dataset, cfg Config) (*Server, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("server: nil dataset")
 	}
 	if !cfg.DefaultEngine.Valid() {
 		return nil, fmt.Errorf("server: %w %d", dsa.ErrUnknownEngine, int(cfg.DefaultEngine))
@@ -73,9 +93,9 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 	if cfg.SiteWorkers < 1 {
 		cfg.SiteWorkers = 1
 	}
-	n := len(st.Sites())
+	n := ds.Snapshot().Stats().Sites
 	s := &Server{
-		st:         st,
+		ds:         ds,
 		cache:      newLegCache(cfg.CacheCapacity),
 		pools:      newSitePools(n, cfg.SiteWorkers),
 		cfg:        cfg,
@@ -86,11 +106,18 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 	// The server is the facade's runner: every tcq query — the /v1 API,
 	// or a library caller holding Facade() — executes through the
 	// pooled, leg-cached path below.
-	facade, err := tcq.Open(st, tcq.WithRunner(s))
+	facade, err := ds.Open(tcq.WithRunner(s))
 	if err != nil {
 		return nil, err
 	}
 	s.facade = facade
+	// Every applied batch invalidates eagerly per changed fragment:
+	// entries for rebuilt sites are dropped, entries for structurally
+	// shared sites are retagged to the new epoch and keep serving.
+	s.unsubscribe = ds.OnApply(func(r tcq.ApplyResult) {
+		s.cache.invalidate(r.Stats.SitesRebuilt, r.Epoch)
+		s.updates.Add(1)
+	})
 	return s, nil
 }
 
@@ -98,17 +125,21 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 // queries run through the server's worker pools and leg cache.
 func (s *Server) Facade() *tcq.Client { return s.facade }
 
+// Dataset returns the deployment's write handle (Apply, Snapshot).
+func (s *Server) Dataset() *tcq.Dataset { return s.ds }
+
 // RunPair implements tcq.Runner: it is how the facade executes one
-// planned (source, target) pair on this server. The engine is already
-// concrete (the facade's planner resolved auto), so the pair maps
-// directly onto the pooled executor — or the store's pipelined walk
-// for ModePipelined, which is vector-seeded and therefore uncacheable.
-func (s *Server) RunPair(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, mode tcq.Mode) (*dsa.Result, tcq.RunStats, error) {
+// planned (source, target) pair on this server, against the snapshot
+// the request pinned. The engine is already concrete (the facade's
+// planner resolved auto), so the pair maps directly onto the pooled
+// executor — or the store's pipelined walk for ModePipelined, which is
+// vector-seeded and therefore uncacheable.
+func (s *Server) RunPair(ctx context.Context, snap *tcq.Snapshot, source, target graph.NodeID, engine dsa.Engine, mode tcq.Mode) (*dsa.Result, tcq.RunStats, error) {
 	if mode == tcq.ModePipelined {
-		res, err := s.QueryPipelinedCtx(ctx, source, target, engine)
+		res, err := s.queryPipelinedOn(ctx, snap, source, target, engine)
 		return res, tcq.RunStats{}, err
 	}
-	res, qs, err := s.runCtx(ctx, source, target, engine, mode == tcq.ModeCost)
+	res, qs, err := s.runCtx(ctx, snap, source, target, engine, mode == tcq.ModeCost)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, tcq.RunStats{}, err
@@ -121,8 +152,14 @@ func (s *Server) RunPair(ctx context.Context, source, target graph.NodeID, engin
 	return res, tcq.RunStats{CacheHits: qs.CacheHits, CacheMisses: qs.CacheMisses}, nil
 }
 
-// Close stops the worker pools. The server must not be used afterwards.
-func (s *Server) Close() { s.pools.close() }
+// Close stops the worker pools and detaches the server from its
+// dataset (the OnApply subscription would otherwise keep the server
+// and its cache alive and swept for the dataset's lifetime). The
+// server must not be used afterwards; the dataset remains usable.
+func (s *Server) Close() {
+	s.unsubscribe()
+	s.pools.close()
+}
 
 // DefaultEngine returns the engine used when a legacy request names
 // none (tcq.EngineAuto = the planner decides).
@@ -138,7 +175,7 @@ type QueryStats struct {
 // It mirrors dsa.Store.Query's refusals: reachability stores and the
 // connectivity-only bitset engine cannot answer cost queries.
 func (s *Server) Query(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, QueryStats, error) {
-	res, qs, err := s.run(source, target, engine, true)
+	res, qs, err := s.runCtx(context.Background(), s.ds.Snapshot(), source, target, engine, true)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, qs, err
@@ -150,7 +187,7 @@ func (s *Server) Query(source, target graph.NodeID, engine dsa.Engine) (*dsa.Res
 // Connected answers the reachability query through the pools and the
 // cache; it accepts every engine on every store, like dsa.Connected.
 func (s *Server) Connected(source, target graph.NodeID, engine dsa.Engine) (bool, QueryStats, error) {
-	res, qs, err := s.run(source, target, engine, false)
+	res, qs, err := s.runCtx(context.Background(), s.ds.Snapshot(), source, target, engine, false)
 	if err != nil {
 		s.errors.Add(1)
 		return false, qs, err
@@ -160,9 +197,9 @@ func (s *Server) Connected(source, target graph.NodeID, engine dsa.Engine) (bool
 }
 
 // QueryPipelined passes a pipelined-evaluation query through the
-// serving layer's locking (no leg cache: pipelined legs are seeded
-// with the running cost vector, so they are query-specific). The
-// engine must support vector-seeded evaluation: dsa.EngineDijkstra or
+// serving layer (no leg cache: pipelined legs are seeded with the
+// running cost vector, so they are query-specific). The engine must
+// support vector-seeded evaluation: dsa.EngineDijkstra or
 // dsa.EngineDense.
 func (s *Server) QueryPipelined(source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
 	return s.QueryPipelinedCtx(context.Background(), source, target, engine)
@@ -171,9 +208,13 @@ func (s *Server) QueryPipelined(source, target graph.NodeID, engine dsa.Engine) 
 // QueryPipelinedCtx is QueryPipelined with cancellation threaded into
 // the chain walk.
 func (s *Server) QueryPipelinedCtx(ctx context.Context, source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	res, err := s.st.QueryPipelinedEngineCtx(ctx, source, target, engine)
+	return s.queryPipelinedOn(ctx, s.ds.Snapshot(), source, target, engine)
+}
+
+// queryPipelinedOn runs the pipelined chain walk on one pinned
+// snapshot.
+func (s *Server) queryPipelinedOn(ctx context.Context, snap *tcq.Snapshot, source, target graph.NodeID, engine dsa.Engine) (*dsa.Result, error) {
+	res, err := snap.Store().QueryPipelinedEngineCtx(ctx, source, target, engine)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
@@ -182,25 +223,21 @@ func (s *Server) QueryPipelinedCtx(ctx context.Context, source, target graph.Nod
 	return res, nil
 }
 
-// run is the pooled, cache-aware counterpart of dsa.Store.RunPlan.
-func (s *Server) run(source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
-	return s.runCtx(context.Background(), source, target, engine, costQuery)
-}
-
 // runCtx is the pooled, cache-aware, cancellation-aware executor
-// behind every non-pipelined query. costQuery marks shortest-path
+// behind every non-pipelined query, running entirely on the snapshot
+// the request pinned — concurrent batch applies swap the dataset
+// underneath without disturbing it. costQuery marks shortest-path
 // queries, which reachability stores and the connectivity-only bitset
 // engine refuse (mirroring dsa.Query, with the same typed errors).
 // Leg tasks observe ctx both before executing (a canceled query's
 // queued legs become no-ops) and inside the kernels.
-func (s *Server) runCtx(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
+func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target graph.NodeID, engine dsa.Engine, costQuery bool) (*dsa.Result, QueryStats, error) {
 	if !dsa.ValidEngine(engine) {
 		return nil, QueryStats{}, fmt.Errorf("server: %w %d", dsa.ErrUnknownEngine, int(engine))
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	st := snap.Store()
 	if costQuery {
-		if s.st.Problem() != dsa.ProblemShortestPath {
+		if st.Problem() != dsa.ProblemShortestPath {
 			return nil, QueryStats{}, fmt.Errorf("server: %w: store precomputed for reachability cannot answer cost queries", dsa.ErrProblemMismatch)
 		}
 		if engine == dsa.EngineBitset {
@@ -208,11 +245,11 @@ func (s *Server) runCtx(ctx context.Context, source, target graph.NodeID, engine
 		}
 	}
 	start := time.Now()
-	plan, err := s.st.NewPlan(source, target)
+	plan, err := st.NewPlan(source, target)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	res, done := s.st.PlanResult(plan)
+	res, done := st.PlanResult(plan)
 	if done {
 		res.Elapsed = time.Since(start)
 		return res, QueryStats{}, nil
@@ -221,7 +258,7 @@ func (s *Server) runCtx(ctx context.Context, source, target graph.NodeID, engine
 	// Phase 1: every leg becomes one task on its site's persistent
 	// worker queue; the cache intercepts the (site, entry, engine)
 	// computation and the exit selection specialises it per leg.
-	epoch := s.st.Epoch()
+	epoch := snap.Epoch()
 	results := make([]*dsa.LegResult, len(plan.Legs))
 	errs := make([]error, len(plan.Legs))
 	var hits, misses atomic.Int64
@@ -245,12 +282,12 @@ func (s *Server) runCtx(ctx context.Context, source, target graph.NodeID, engine
 			} else {
 				misses.Add(1)
 				var execErr error
-				full, stats, execErr = s.st.ExecuteLegFullCtx(ctx, leg.SiteID, leg.Entry, engine)
+				full, stats, execErr = st.ExecuteLegFullCtx(ctx, leg.SiteID, leg.Entry, engine)
 				if execErr != nil {
 					errs[i] = execErr
 					return
 				}
-				s.cache.put(key, epoch, full, stats)
+				s.cache.put(key, leg.SiteID, epoch, full, stats)
 			}
 			filtered, filterErr := dsa.FilterLegFacts(full, leg)
 			if filterErr != nil {
@@ -274,53 +311,52 @@ func (s *Server) runCtx(ctx context.Context, source, target graph.NodeID, engine
 
 	// Phase 2: accounting + assembly, the same epilogue as the library
 	// path.
-	if err := s.st.FinishPlan(plan, results, res); err != nil {
+	if err := st.FinishPlan(plan, results, res); err != nil {
 		return nil, qs, err
 	}
 	res.Elapsed = time.Since(start)
 	return res, qs, nil
 }
 
-// InsertEdge applies an edge insertion under the write lock, advancing
-// the store epoch and purging the leg cache.
+// ApplyBatch applies a transactional batch of edge operations through
+// the dataset: atomic validation, copy-on-write rebuild of the touched
+// fragments, pointer swap, eager cache invalidation — in-flight
+// queries keep answering on the snapshots they pinned.
+func (s *Server) ApplyBatch(ctx context.Context, b *tcq.Batch) (tcq.ApplyResult, error) {
+	res, err := s.ds.Apply(ctx, b)
+	if err != nil {
+		s.errors.Add(1)
+		return res, err
+	}
+	return res, nil
+}
+
+// InsertEdge applies an edge insertion as a single-op batch — the
+// legacy per-op entry point, kept for the unversioned /update shim.
 func (s *Server) InsertEdge(fragID int, e graph.Edge) (dsa.UpdateStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	stats, err := s.st.InsertEdge(fragID, e)
-	if err != nil {
-		s.errors.Add(1)
-		return stats, err
-	}
-	s.cache.purge()
-	s.updates.Add(1)
-	s.refreshFacade()
-	return stats, nil
+	return s.applyOne(tcq.Insert(fragID, int(e.From), int(e.To), e.Weight))
 }
 
-// DeleteEdge applies an edge deletion under the write lock, advancing
-// the store epoch and purging the leg cache.
+// DeleteEdge applies an edge deletion as a single-op batch — the
+// legacy per-op entry point, kept for the unversioned /update shim.
 func (s *Server) DeleteEdge(fragID int, e graph.Edge) (dsa.UpdateStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	stats, err := s.st.DeleteEdge(fragID, e)
-	if err != nil {
-		s.errors.Add(1)
-		return stats, err
-	}
-	s.cache.purge()
-	s.updates.Add(1)
-	s.refreshFacade()
-	return stats, nil
+	return s.applyOne(tcq.Delete(fragID, int(e.From), int(e.To), e.Weight))
 }
 
-// refreshFacade recollects the facade's planner stats after an applied
-// update (the store was rebuilt in place, so fragment sizes may have
-// changed). Called under the write lock, which keeps the store stable
-// while the stats are re-read; the facade's own lock is only ever held
-// briefly by planners, never across server execution, so the nesting
-// is safe.
-func (s *Server) refreshFacade() {
-	s.facade.Refresh()
+// applyOne routes one op through the facade's single-op path (which
+// unwraps the batch envelope to the op's own typed error).
+func (s *Server) applyOne(op tcq.Op) (dsa.UpdateStats, error) {
+	var stats tcq.UpdateStats
+	var err error
+	if op.Kind == tcq.OpInsert {
+		stats, err = s.facade.InsertEdge(op.Fragment, op.From, op.To, op.Weight)
+	} else {
+		stats, err = s.facade.DeleteEdge(op.Fragment, op.From, op.To, op.Weight)
+	}
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return stats, err
 }
 
 // SiteStats is one site's serving-time work.
@@ -353,17 +389,17 @@ type Stats struct {
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
-	s.mu.RLock()
+	snap := s.ds.Snapshot()
+	ss := snap.Stats()
 	st := Stats{
 		UptimeSeconds:    time.Since(s.start).Seconds(),
-		Epoch:            s.st.Epoch(),
-		Nodes:            s.st.Fragmentation().Base().NumNodes(),
-		Sites:            len(s.st.Sites()),
-		LooselyConnected: s.st.LooselyConnected(),
-		Problem:          s.st.Problem().String(),
+		Epoch:            snap.Epoch(),
+		Nodes:            ss.TotalNodes,
+		Sites:            ss.Sites,
+		LooselyConnected: ss.LooselyConnected,
+		Problem:          ss.Problem.String(),
 		DefaultEngine:    s.cfg.DefaultEngine.String(),
 	}
-	s.mu.RUnlock()
 	st.Queries = s.queries.Load()
 	st.ConnectedQueries = s.connected.Load()
 	st.PipelinedQueries = s.pipelined.Load()

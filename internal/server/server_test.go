@@ -156,8 +156,11 @@ func TestServerUpdateInvalidatesCache(t *testing.T) {
 	if st.Epoch != 2 {
 		t.Errorf("epoch = %d, want 2", st.Epoch)
 	}
-	if st.Cache.Purges != 2 {
-		t.Errorf("cache purges = %d, want 2", st.Cache.Purges)
+	if st.Cache.Sweeps != 2 {
+		t.Errorf("cache invalidation sweeps = %d, want 2", st.Cache.Sweeps)
+	}
+	if st.Cache.Invalidated == 0 {
+		t.Error("inserting a shortcut into a cached fragment must invalidate its entries eagerly")
 	}
 }
 

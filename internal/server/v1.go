@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/pkg/tcq"
 )
@@ -18,6 +19,10 @@ import (
 // maxBatchRequests bounds one /v1/batch body — a backstop against a
 // single request monopolising the worker pools.
 const maxBatchRequests = 256
+
+// maxUpdateOps bounds one /v1/update body — a backstop against a
+// single transaction monopolising the writer gate.
+const maxUpdateOps = 256
 
 // maxQueryPairs bounds the effective (source, target) pair count of
 // one /v1 request: the sources × targets product, reduced by an
@@ -132,11 +137,78 @@ type V1BatchResponse struct {
 	Results []V1BatchItem `json:"results"`
 }
 
+// V1UpdateOp is one typed mutation of a /v1/update transaction.
+type V1UpdateOp struct {
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Fragment is the fragment whose edge set changes.
+	Fragment int `json:"fragment"`
+	// From and To are the edge endpoints (existing node IDs).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Weight is the edge weight; on delete the (from, to, weight)
+	// triple must match a stored fragment edge exactly.
+	Weight float64 `json:"weight"`
+}
+
+// V1UpdateRequest is the JSON body of POST /v1/update: an ordered op
+// batch applied as one transaction — either every op lands in one new
+// epoch, or nothing is applied and the response lists a typed error
+// per offending op.
+type V1UpdateRequest struct {
+	Ops []V1UpdateOp `json:"ops"`
+}
+
+// V1UpdateResponse is the JSON answer of a successful POST /v1/update.
+type V1UpdateResponse struct {
+	// Epoch is the new dataset generation the batch produced.
+	Epoch uint64 `json:"epoch"`
+	// Applied is the number of ops the transaction applied.
+	Applied int `json:"applied"`
+	// RecomputedSets and DijkstraRuns report the preprocessing cost.
+	RecomputedSets int `json:"recomputed_sets"`
+	DijkstraRuns   int `json:"dijkstra_runs"`
+	// RebuiltFragments lists the fragments that were re-preprocessed;
+	// SharedFragments counts those structurally shared with the
+	// previous epoch (their cached leg results survive the swap).
+	RebuiltFragments []int `json:"rebuilt_fragments"`
+	SharedFragments  int   `json:"shared_fragments"`
+	// LocalOnly reports that no complementary information existed to
+	// recompute.
+	LocalOnly bool  `json:"local_only"`
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
+// V1OpError is one refused op of a /v1/update transaction.
+type V1OpError struct {
+	// Index is the op's position in the request's ops array.
+	Index int `json:"index"`
+	// Code is the stable machine code of the refusal.
+	Code string `json:"code"`
+	// Error is the human-readable detail.
+	Error string `json:"error"`
+}
+
+// V1UpdateError is the JSON error envelope of POST /v1/update: the
+// batch-level message plus one typed error per offending op. When it
+// is returned, nothing was applied.
+type V1UpdateError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	// Ops lists the refused operations (absent for non-batch failures
+	// such as a malformed body).
+	Ops []V1OpError `json:"ops,omitempty"`
+}
+
 // errorCode maps a facade error onto (HTTP status, stable code).
 func errorCode(err error) (int, string) {
 	switch {
-	case errors.Is(err, tcq.ErrInvalidRequest):
+	case errors.Is(err, tcq.ErrInvalidRequest), errors.Is(err, tcq.ErrEmptyBatch):
 		return http.StatusBadRequest, "invalid_request"
+	case errors.Is(err, tcq.ErrEdgeNotFound):
+		return http.StatusNotFound, "edge_not_found"
+	case errors.Is(err, tcq.ErrEmptyFragment):
+		return http.StatusBadRequest, "empty_fragment"
 	case errors.Is(err, tcq.ErrUnknownMode):
 		return http.StatusBadRequest, "unknown_mode"
 	case errors.Is(err, tcq.ErrUnknownEngine):
@@ -226,6 +298,75 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, v1ResponseFrom(res))
+}
+
+// handleV1Update serves POST /v1/update: parse the op batch, apply it
+// as one transaction through the dataset (atomic: any refused op means
+// nothing is applied and every offending op is reported with a typed
+// code), answer with the new epoch and the incremental-rebuild cost
+// breakdown.
+func (s *Server) handleV1Update(w http.ResponseWriter, r *http.Request) {
+	var body V1UpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&body); err != nil {
+		writeV1Error(w, fmt.Errorf("%w: bad body: %v", tcq.ErrInvalidRequest, err))
+		return
+	}
+	if len(body.Ops) == 0 {
+		writeV1Error(w, fmt.Errorf("%w: empty ops", tcq.ErrInvalidRequest))
+		return
+	}
+	if len(body.Ops) > maxUpdateOps {
+		writeV1Error(w, fmt.Errorf("%w: transaction of %d ops exceeds the %d-op bound",
+			tcq.ErrInvalidRequest, len(body.Ops), maxUpdateOps))
+		return
+	}
+	var b tcq.Batch
+	for i, op := range body.Ops {
+		switch op.Op {
+		case "insert":
+			b.Insert(op.Fragment, op.From, op.To, op.Weight)
+		case "delete":
+			b.Delete(op.Fragment, op.From, op.To, op.Weight)
+		default:
+			writeJSON(w, http.StatusBadRequest, V1UpdateError{
+				Error: fmt.Sprintf("op %d: unknown op %q (want insert or delete)", i, op.Op),
+				Code:  "invalid_request",
+				Ops:   []V1OpError{{Index: i, Code: "invalid_request", Error: fmt.Sprintf("unknown op %q", op.Op)}},
+			})
+			return
+		}
+	}
+	start := time.Now()
+	res, err := s.ApplyBatch(r.Context(), &b)
+	if err != nil {
+		var be *tcq.BatchError
+		if errors.As(err, &be) {
+			// Atomic refusal: per-op typed codes, worst status wins.
+			status := http.StatusBadRequest
+			ops := make([]V1OpError, 0, len(be.Ops))
+			for _, oe := range be.Ops {
+				st, code := errorCode(oe.Err)
+				if st > status {
+					status = st
+				}
+				ops = append(ops, V1OpError{Index: oe.Index, Code: code, Error: oe.Err.Error()})
+			}
+			writeJSON(w, status, V1UpdateError{Error: err.Error(), Code: "batch_refused", Ops: ops})
+			return
+		}
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, V1UpdateResponse{
+		Epoch:            res.Epoch,
+		Applied:          res.Stats.Ops,
+		RecomputedSets:   res.Stats.RecomputedSets,
+		DijkstraRuns:     res.Stats.DijkstraRuns,
+		RebuiltFragments: res.Stats.SitesRebuilt,
+		SharedFragments:  res.Stats.SitesShared,
+		LocalOnly:        res.Stats.LocalOnly,
+		ElapsedUS:        time.Since(start).Microseconds(),
+	})
 }
 
 // handleV1Batch serves POST /v1/batch: every request of the body is

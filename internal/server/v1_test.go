@@ -253,18 +253,86 @@ func TestV1PairBound(t *testing.T) {
 	}
 }
 
-// TestFacadeStoreNotOwned: the server-backed facade refuses direct
-// store operations — mutating through it would bypass the server's
-// lock, cache purge and counters.
-func TestFacadeStoreNotOwned(t *testing.T) {
-	srv, _ := newGridServer(t, 6, 6, 2, Config{DefaultEngine: tcq.EngineAuto})
-	if _, err := srv.Facade().InsertEdge(0, 0, 1, 1); !errors.Is(err, tcq.ErrStoreNotOwned) {
-		t.Fatalf("InsertEdge: got %v, want tcq.ErrStoreNotOwned", err)
+// TestV1Update exercises the transactional write endpoint: a
+// multi-op batch lands atomically in one epoch, reports the
+// incremental rebuild (touched fragment rebuilt, the rest shared),
+// and the next query reflects it.
+func TestV1Update(t *testing.T) {
+	ts := v1Server(t)
+	var ur V1UpdateResponse
+	status := postV1(t, ts.URL+"/v1/update", V1UpdateRequest{Ops: []V1UpdateOp{
+		{Op: "insert", Fragment: 0, From: 0, To: 63, Weight: 0.5},
+		{Op: "insert", Fragment: 0, From: 0, To: 62, Weight: 0.75},
+	}}, &ur)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %+v", status, ur)
 	}
-	if _, err := srv.Facade().DeleteEdge(0, 0, 1, 1); !errors.Is(err, tcq.ErrStoreNotOwned) {
-		t.Fatalf("DeleteEdge: got %v, want tcq.ErrStoreNotOwned", err)
+	if ur.Epoch != 1 || ur.Applied != 2 {
+		t.Fatalf("epoch %d applied %d, want 1 and 2", ur.Epoch, ur.Applied)
 	}
-	if _, _, err := srv.Facade().QueryPath(context.Background(), 0, 35); !errors.Is(err, tcq.ErrStoreNotOwned) {
-		t.Fatalf("QueryPath: got %v, want tcq.ErrStoreNotOwned", err)
+	if len(ur.RebuiltFragments) == 0 {
+		t.Fatalf("no rebuilt fragments reported: %+v", ur)
+	}
+	var vr V1QueryResponse
+	if s := postV1(t, ts.URL+"/v1/query", V1Request{Sources: []int{0}, Targets: []int{63}, Mode: "cost"}, &vr); s != http.StatusOK {
+		t.Fatalf("query after update: status %d", s)
+	}
+	if vr.Answers[0].Cost == nil || math.Abs(*vr.Answers[0].Cost-0.5) > 1e-9 {
+		t.Fatalf("cost after batched shortcut = %v, want 0.5", vr.Answers[0].Cost)
+	}
+
+	// An atomically refused batch: per-op typed codes, nothing applied.
+	var ue V1UpdateError
+	status = postV1(t, ts.URL+"/v1/update", V1UpdateRequest{Ops: []V1UpdateOp{
+		{Op: "delete", Fragment: 0, From: 0, To: 63, Weight: 0.5},
+		{Op: "insert", Fragment: 0, From: 0, To: 999999, Weight: 1},
+		{Op: "delete", Fragment: 0, From: 5, To: 6, Weight: 123},
+	}}, &ue)
+	if status != http.StatusNotFound || ue.Code != "batch_refused" {
+		t.Fatalf("refused batch: status %d code %q", status, ue.Code)
+	}
+	if len(ue.Ops) != 2 || ue.Ops[0].Index != 1 || ue.Ops[0].Code != "unknown_node" ||
+		ue.Ops[1].Index != 2 || ue.Ops[1].Code != "edge_not_found" {
+		t.Fatalf("per-op errors: %+v", ue.Ops)
+	}
+	// Atomic: the valid delete of op 0 must NOT have landed.
+	var vr2 V1QueryResponse
+	postV1(t, ts.URL+"/v1/query", V1Request{Sources: []int{0}, Targets: []int{63}, Mode: "cost"}, &vr2)
+	if vr2.Answers[0].Cost == nil || math.Abs(*vr2.Answers[0].Cost-0.5) > 1e-9 {
+		t.Fatalf("refused batch partially applied: cost %v, want 0.5", vr2.Answers[0].Cost)
+	}
+
+	// Malformed envelopes.
+	var ve V1Error
+	if s := postV1(t, ts.URL+"/v1/update", V1UpdateRequest{}, &ve); s != http.StatusBadRequest || ve.Code != "invalid_request" {
+		t.Fatalf("empty ops: status %d code %q", s, ve.Code)
+	}
+	var ue2 V1UpdateError
+	if s := postV1(t, ts.URL+"/v1/update", V1UpdateRequest{Ops: []V1UpdateOp{{Op: "upsert"}}}, &ue2); s != http.StatusBadRequest || len(ue2.Ops) != 1 {
+		t.Fatalf("unknown op verb: status %d %+v", s, ue2)
+	}
+}
+
+// TestFacadeMutationsShareServerDataset: the server-backed facade
+// mutates through the shared dataset, so the server's eager cache
+// invalidation and update counters fire for facade-applied batches,
+// and QueryPath reads a pinned immutable snapshot safely.
+func TestFacadeMutationsShareServerDataset(t *testing.T) {
+	srv, _ := newGridServer(t, 6, 6, 2, Config{DefaultEngine: tcq.EngineAuto, CacheCapacity: 64})
+	if _, err := srv.Facade().InsertEdge(0, 0, 1, 0.25); err != nil {
+		t.Fatalf("InsertEdge through facade: %v", err)
+	}
+	if _, err := srv.Facade().DeleteEdge(0, 0, 1, 0.25); err != nil {
+		t.Fatalf("DeleteEdge through facade: %v", err)
+	}
+	st := srv.Stats()
+	if st.Updates != 2 || st.Epoch != 2 {
+		t.Fatalf("updates = %d epoch = %d, want 2 and 2 (facade batches must hit the server's dataset)", st.Updates, st.Epoch)
+	}
+	if st.Cache.Sweeps != 2 {
+		t.Fatalf("cache sweeps = %d, want 2 (facade batches must invalidate eagerly)", st.Cache.Sweeps)
+	}
+	if _, route, err := srv.Facade().QueryPath(context.Background(), 0, 35); err != nil || len(route.Nodes) == 0 {
+		t.Fatalf("QueryPath on server-backed facade: route %v, err %v", route, err)
 	}
 }

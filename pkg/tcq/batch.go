@@ -1,0 +1,108 @@
+package tcq
+
+import (
+	"repro/internal/dsa"
+	"repro/internal/graph"
+)
+
+// OpKind selects what a mutation op does; it is the dsa kind
+// re-exported so facade callers need not import internal packages.
+type OpKind = dsa.OpKind
+
+// Re-exported op kinds (see dsa.OpKind).
+const (
+	// OpInsert adds a directed edge to a fragment.
+	OpInsert = dsa.OpInsert
+	// OpDelete removes one exactly matching (from, to, weight) edge
+	// from a fragment.
+	OpDelete = dsa.OpDelete
+)
+
+// Aliases for the per-op error types Apply reports, so callers can
+// errors.As against them without importing internal packages.
+type (
+	// OpError ties one refused operation to its position in the batch.
+	OpError = dsa.OpError
+	// BatchError lists every refused op of an atomic batch; when it is
+	// returned, nothing was applied.
+	BatchError = dsa.BatchError
+	// BatchStats reports the cost of one applied batch, including which
+	// sites were rebuilt and which were structurally shared.
+	BatchStats = dsa.BatchStats
+)
+
+// Op is one typed mutation of a deployed graph: insert an edge into
+// (or delete an exact edge from) a fragment. Build ops with Insert and
+// Delete and collect them in a Batch.
+type Op struct {
+	// Kind is OpInsert or OpDelete.
+	Kind OpKind
+	// Fragment is the fragment whose edge set changes.
+	Fragment int
+	// From and To are the edge endpoints (existing node IDs).
+	From, To int
+	// Weight is the edge weight; on delete the (From, To, Weight)
+	// triple must match a stored fragment edge exactly.
+	Weight float64
+}
+
+// Insert builds an edge-insertion op.
+func Insert(fragment, from, to int, weight float64) Op {
+	return Op{Kind: OpInsert, Fragment: fragment, From: from, To: to, Weight: weight}
+}
+
+// Delete builds an edge-deletion op.
+func Delete(fragment, from, to int, weight float64) Op {
+	return Op{Kind: OpDelete, Fragment: fragment, From: from, To: to, Weight: weight}
+}
+
+// Batch is an ordered list of mutation ops applied atomically by
+// Dataset.Apply: either every op is admissible and all of them land in
+// one new epoch, or none do. The zero value is an empty batch; the
+// builder methods chain:
+//
+//	var b tcq.Batch
+//	b.Insert(0, 3, 97, 1.5).Delete(0, 3, 42, 2)
+//	res, err := ds.Apply(ctx, &b)
+//
+// Ops are validated in order against the progressively updated edge
+// sets, so a batch may delete an edge an earlier op of the same batch
+// inserted.
+type Batch struct {
+	ops []Op
+}
+
+// Insert appends an insertion op and returns the batch for chaining.
+func (b *Batch) Insert(fragment, from, to int, weight float64) *Batch {
+	return b.Add(Insert(fragment, from, to, weight))
+}
+
+// Delete appends a deletion op and returns the batch for chaining.
+func (b *Batch) Delete(fragment, from, to int, weight float64) *Batch {
+	return b.Add(Delete(fragment, from, to, weight))
+}
+
+// Add appends ops and returns the batch for chaining.
+func (b *Batch) Add(ops ...Op) *Batch {
+	b.ops = append(b.ops, ops...)
+	return b
+}
+
+// Len returns the number of ops in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Ops returns a copy of the batch's ops in application order.
+func (b *Batch) Ops() []Op { return append([]Op(nil), b.ops...) }
+
+// edgeOps converts the batch to the internal op representation.
+func (b *Batch) edgeOps() []dsa.EdgeOp {
+	out := make([]dsa.EdgeOp, len(b.ops))
+	for i, op := range b.ops {
+		out[i] = dsa.EdgeOp{
+			Kind: op.Kind,
+			Frag: op.Fragment,
+			Edge: graph.Edge{From: graph.NodeID(op.From), To: graph.NodeID(op.To), Weight: op.Weight},
+		}
+	}
+	return out
+}

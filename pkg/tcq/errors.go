@@ -19,13 +19,6 @@ var (
 	// ErrInvalidRequest reports a Request that fails validation: empty
 	// source or target set, or a negative limit.
 	ErrInvalidRequest = errors.New("invalid request")
-	// ErrStoreNotOwned reports a direct store operation (InsertEdge,
-	// DeleteEdge, QueryPath) on a client whose execution is delegated
-	// to a custom Runner: the layer that owns the store (e.g. the HTTP
-	// serving layer) synchronises store access itself, so mutating or
-	// reading it through the client would bypass that layer's locking
-	// and caches. Apply the operation through the owning layer instead.
-	ErrStoreNotOwned = errors.New("store not owned by this client")
 	// ErrUnknownMode reports a mode name or value outside
 	// connectivity|cost|pipelined.
 	ErrUnknownMode = errors.New("unknown mode")
@@ -55,6 +48,15 @@ var (
 	// ErrNegativeWeight reports a negative edge weight refused by the
 	// cost kernels or by an update.
 	ErrNegativeWeight = dsa.ErrNegativeWeight
+	// ErrEmptyBatch reports a Dataset.Apply call with a nil or empty
+	// batch.
+	ErrEmptyBatch = dsa.ErrEmptyBatch
+	// ErrEdgeNotFound reports a delete op whose (from, to, weight)
+	// triple matches no stored edge of the named fragment.
+	ErrEdgeNotFound = dsa.ErrEdgeNotFound
+	// ErrEmptyFragment reports a delete op that would leave a fragment
+	// with no edges; the batch is refused.
+	ErrEmptyFragment = dsa.ErrEmptyFragment
 	// ErrCanceled reports that the query observed context cancellation
 	// and abandoned its partial work. Errors wrapping it also wrap the
 	// context's own error, so errors.Is(err, context.Canceled) keeps

@@ -92,13 +92,20 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// Query answers a request: validate once, plan once, evaluate every
-// (source, target) pair, honouring ctx throughout. Unreachable pairs
-// are answers, not errors; hard failures (validation, planning,
-// cancellation, execution) return a typed error and no result.
+// Query answers a request: validate once, plan once, pin the current
+// snapshot, evaluate every (source, target) pair on it, honouring ctx
+// throughout. Unreachable pairs are answers, not errors; hard failures
+// (validation, planning, cancellation, execution) return a typed error
+// and no result.
 func (c *Client) Query(ctx context.Context, req Request) (*Result, error) {
+	return queryOn(ctx, c.ds.Snapshot(), c.runner, req)
+}
+
+// queryOn materialises a full Result from a stream over one pinned
+// snapshot.
+func queryOn(ctx context.Context, snap *Snapshot, runner Runner, req Request) (*Result, error) {
 	start := time.Now()
-	rs, err := c.QueryStream(ctx, req)
+	rs, err := streamOn(ctx, snap, runner, req)
 	if err != nil {
 		return nil, err
 	}
@@ -157,11 +164,19 @@ func (c *Client) QueryBatch(ctx context.Context, reqs []Request) ([]BatchResult,
 //	}
 //	if err := rs.Err(); err != nil { ... }
 func (c *Client) QueryStream(ctx context.Context, req Request) (*Results, error) {
+	return streamOn(ctx, c.ds.Snapshot(), c.runner, req)
+}
+
+// streamOn validates and plans a request against one pinned snapshot
+// and returns the lazy pair iterator bound to it — every pair of the
+// stream evaluates on the same generation, regardless of batches
+// applied while the consumer iterates.
+func streamOn(ctx context.Context, snap *Snapshot, runner Runner, req Request) (*Results, error) {
 	canon, err := req.canonical()
 	if err != nil {
 		return nil, err
 	}
-	ex, err := Plan(canon, c.StoreStats())
+	ex, err := Plan(canon, snap.stats)
 	if err != nil {
 		return nil, err
 	}
@@ -169,13 +184,14 @@ func (c *Client) QueryStream(ctx context.Context, req Request) (*Results, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Results{c: c, ctx: ctx, req: canon, explain: ex, engine: eng}, nil
+	return &Results{snap: snap, runner: runner, ctx: ctx, req: canon, explain: ex, engine: eng}, nil
 }
 
 // Results is a lazy answer stream (see Client.QueryStream). It is not
 // safe for concurrent use.
 type Results struct {
-	c       *Client
+	snap    *Snapshot
+	runner  Runner
 	ctx     context.Context
 	req     Request
 	explain Explain
@@ -219,7 +235,7 @@ func (rs *Results) Next() bool {
 		rs.j = 0
 		rs.i++
 	}
-	res, runStats, err := rs.c.runPair(rs.ctx, source, target, rs.engine, rs.explain.Mode)
+	res, runStats, err := rs.runner.RunPair(rs.ctx, rs.snap, graph.NodeID(source), graph.NodeID(target), rs.engine, rs.explain.Mode)
 	if err != nil {
 		rs.err = err
 		return false
@@ -243,18 +259,4 @@ func (rs *Results) Err() error { return rs.err }
 func (rs *Results) Close() error {
 	rs.closed = true
 	return nil
-}
-
-// runPair executes one pair through the client's runner. Direct store
-// execution runs under the client's read lock, so updates applied
-// through the client serialise against streaming queries pair by pair;
-// a custom runner (the serving layer) owns its own synchronisation and
-// is called lock-free — taking the client lock here would invert the
-// runner's internal lock order against its update path.
-func (c *Client) runPair(ctx context.Context, source, target int, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error) {
-	if c.ownStore {
-		c.mu.RLock()
-		defer c.mu.RUnlock()
-	}
-	return c.runner.RunPair(ctx, graph.NodeID(source), graph.NodeID(target), engine, mode)
 }

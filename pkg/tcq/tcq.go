@@ -17,6 +17,18 @@
 //	})
 //	// res.Explain says which engine answered and why.
 //
+// The write side mirrors the read side: a Dataset owns the deployment
+// across update generations, a Batch of typed Insert/Delete ops is
+// validated and applied atomically by Dataset.Apply (producing a new
+// epoch, re-preprocessing only the fragments the batch touched), and
+// readers pin immutable copy-on-write Snapshots — queries never block
+// on writers and never observe a half-applied batch:
+//
+//	ds := client.Dataset()
+//	var b tcq.Batch
+//	b.Insert(0, 3, 97, 1.5).Delete(0, 3, 42, 2)
+//	res, err := ds.Apply(ctx, &b)   // res.Epoch, res.Stats.SitesShared
+//
 // Everything is context-aware: cancellation propagates through the
 // per-site execution down into the kernels, which observe ctx between
 // fixpoint rounds and propagation levels, and surfaces as ErrCanceled.
@@ -27,7 +39,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/dsa"
 	"repro/internal/fragment"
@@ -94,14 +105,18 @@ type RunStats struct {
 	CacheHits, CacheMisses int
 }
 
-// Runner executes one planned (source, target) pair query. The default
-// runner executes directly on the store with per-site goroutines; the
-// serving layer (internal/server) plugs in its pooled, leg-cached
-// executor through WithRunner so HTTP traffic and library callers
-// share one facade. The engine is always concrete (the planner has
-// resolved EngineAuto before any RunPair call).
+// Runner executes one planned (source, target) pair query against a
+// pinned snapshot. The default runner executes directly on the
+// snapshot's store with per-site goroutines; the serving layer
+// (internal/server) plugs in its pooled, leg-cached executor through
+// WithRunner so HTTP traffic and library callers share one facade.
+// The engine is always concrete (the planner has resolved EngineAuto
+// before any RunPair call), and the snapshot is the generation the
+// whole request pinned — runners must execute on it, not on whatever
+// generation is current, so multi-pair requests stay self-consistent
+// under concurrent updates.
 type Runner interface {
-	RunPair(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error)
+	RunPair(ctx context.Context, snap *Snapshot, source, target graph.NodeID, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error)
 }
 
 // Option configures Open/Build.
@@ -119,35 +134,26 @@ func WithRunner(r Runner) Option {
 }
 
 // Client is an open facade over one deployment. It is safe for
-// concurrent use: queries take a read lock, updates a write lock, so
-// in-flight queries never observe a half-applied update.
+// concurrent use without any reader locking: every query pins the
+// dataset generation current when it starts (an atomic pointer load)
+// and runs on that immutable snapshot to completion, so in-flight
+// queries never observe a half-applied update and never block on
+// writers.
 type Client struct {
-	mu     sync.RWMutex
-	st     *dsa.Store
+	ds     *Dataset
 	runner Runner
-	// ownStore marks the default direct-on-store runner: only then does
-	// the client's lock guard query execution (a custom runner
-	// synchronises its own store access).
-	ownStore bool
-	stats    StoreStats
 }
 
-// Open wraps a built store in a facade client.
+// Open wraps a built store in a facade client (creating a dataset
+// around the store). To share one dataset between a client and other
+// layers — or between several clients — build the Dataset first and
+// use Dataset.Open.
 func Open(store *dsa.Store, opts ...Option) (*Client, error) {
-	if store == nil {
-		return nil, errors.New("tcq: Open: nil store")
+	ds, err := OpenDataset(store)
+	if err != nil {
+		return nil, err
 	}
-	var o options
-	for _, opt := range opts {
-		opt(&o)
-	}
-	c := &Client{st: store, runner: o.runner}
-	if c.runner == nil {
-		c.runner = storeRunner{st: store}
-		c.ownStore = true
-	}
-	c.stats = CollectStats(store)
-	return c, nil
+	return ds.Open(opts...)
 }
 
 // Build is BuildStore followed by Open — the one-call path from a
@@ -161,32 +167,35 @@ func Build(fr *fragment.Fragmentation, bopt BuildOptions, opts ...Option) (*Clie
 }
 
 // Close releases the client. The current implementation holds no
-// resources beyond the store, but callers should treat a closed client
-// as unusable — future versions may own worker pools.
+// resources beyond the dataset, but callers should treat a closed
+// client as unusable — future versions may own worker pools.
 func (c *Client) Close() error { return nil }
 
-// Store exposes the underlying deployment for the internal layers that
-// extend the facade (the serving layer, the phe hierarchical planner).
-// Mutating the store directly bypasses the client's locking; use the
-// client's update methods instead.
-func (c *Client) Store() *dsa.Store { return c.st }
+// Dataset returns the mutable deployment handle behind the client —
+// the write side of the facade (Apply, Snapshot, OnApply).
+func (c *Client) Dataset() *Dataset { return c.ds }
 
-// StoreStats returns the planner inputs collected at Open (refreshed
-// after every update applied through the client, or explicitly with
-// Refresh).
+// Snapshot pins the current generation: an immutable view that stays
+// consistent (and fully queryable) across any number of later batches.
+func (c *Client) Snapshot() *Snapshot { return c.ds.Snapshot() }
+
+// Store exposes the current generation's store for the internal layers
+// that extend the facade (the serving layer, the phe hierarchical
+// planner). Treat it as read-only; mutate through Apply.
+func (c *Client) Store() *dsa.Store { return c.ds.Snapshot().st }
+
+// StoreStats returns the planner inputs of the current generation
+// (recollected on every applied batch).
 func (c *Client) StoreStats() StoreStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.stats
+	return c.ds.Snapshot().stats
 }
 
-// Refresh recollects the planner stats from the store — call it after
-// mutating the store outside the client (e.g. the serving layer's
-// update path).
+// Refresh recollects the planner stats from the current store — the
+// escape hatch for stores mutated out-of-band through the legacy
+// in-place dsa update methods (batches applied through the facade
+// refresh automatically).
 func (c *Client) Refresh() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = CollectStats(c.st)
+	c.ds.refreshStats()
 }
 
 // Plan resolves the engine the planner would choose for a request
@@ -196,11 +205,9 @@ func (c *Client) Plan(req Request) (Explain, error) {
 }
 
 // Preprocessing reports the complementary-information build cost of
-// the deployment.
+// the current generation.
 func (c *Client) Preprocessing() PreprocessStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.st.Preprocessing()
+	return c.ds.Snapshot().Preprocessing()
 }
 
 // Sites returns the number of deployed sites.
@@ -213,48 +220,51 @@ func (c *Client) Problem() Problem { return c.StoreStats().Problem }
 // acyclic — the precondition for single-chain plans and exact answers.
 func (c *Client) LooselyConnected() bool { return c.StoreStats().LooselyConnected }
 
-// Epoch returns the store's update generation.
+// Epoch returns the dataset's current update generation.
 func (c *Client) Epoch() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.st.Epoch()
+	return c.ds.Epoch()
+}
+
+// Apply routes a batch through the client's dataset: validated as a
+// whole, applied atomically, producing a new epoch while in-flight
+// queries keep answering on the generations they pinned. See
+// Dataset.Apply for error semantics.
+func (c *Client) Apply(ctx context.Context, b *Batch) (ApplyResult, error) {
+	return c.ds.Apply(ctx, b)
 }
 
 // InsertEdge adds a directed edge with the given weight to the
-// fragment, rebuilding the affected complementary information. It
-// serialises against in-flight queries and refreshes the planner
-// stats. Errors wrap ErrUnknownSite, ErrUnknownNode or
-// ErrNegativeWeight. On a client with a custom Runner the store is
-// owned (and synchronised) by that layer, so direct updates are
-// refused with ErrStoreNotOwned — apply them through the owning layer
-// (the HTTP server's /update path).
+// fragment — the single-op convenience over Apply, with the same
+// non-blocking swap semantics. Errors wrap ErrUnknownSite,
+// ErrUnknownNode or ErrNegativeWeight.
 func (c *Client) InsertEdge(fragID, from, to int, weight float64) (UpdateStats, error) {
-	if !c.ownStore {
-		return UpdateStats{}, fmt.Errorf("tcq: InsertEdge: %w", ErrStoreNotOwned)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	stats, err := c.st.InsertEdge(fragID, graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: weight})
-	if err == nil {
-		c.stats = CollectStats(c.st)
-	}
-	return stats, err
+	return c.applyOne(Insert(fragID, from, to, weight))
 }
 
 // DeleteEdge removes one occurrence of the exact (from, to, weight)
-// edge from the fragment — the inverse of InsertEdge, with the same
-// locking, stats refresh and ErrStoreNotOwned refusal.
+// edge from the fragment — the inverse of InsertEdge. Errors
+// additionally wrap ErrEdgeNotFound and ErrEmptyFragment.
 func (c *Client) DeleteEdge(fragID, from, to int, weight float64) (UpdateStats, error) {
-	if !c.ownStore {
-		return UpdateStats{}, fmt.Errorf("tcq: DeleteEdge: %w", ErrStoreNotOwned)
+	return c.applyOne(Delete(fragID, from, to, weight))
+}
+
+// applyOne applies a single-op batch, unwrapping the batch envelope to
+// the op's own typed error so the historical error shapes survive.
+func (c *Client) applyOne(op Op) (UpdateStats, error) {
+	var b Batch
+	res, err := c.ds.Apply(context.Background(), b.Add(op))
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) && len(be.Ops) == 1 {
+			return UpdateStats{}, be.Ops[0].Err
+		}
+		return UpdateStats{}, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	stats, err := c.st.DeleteEdge(fragID, graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: weight})
-	if err == nil {
-		c.stats = CollectStats(c.st)
-	}
-	return stats, err
+	return UpdateStats{
+		RecomputedSets: res.Stats.RecomputedSets,
+		DijkstraRuns:   res.Stats.DijkstraRuns,
+		LocalOnly:      res.Stats.LocalOnly,
+	}, nil
 }
 
 // Connected reports whether target is reachable from source — the
@@ -283,20 +293,16 @@ func (c *Client) Cost(ctx context.Context, source, target int) (float64, error) 
 }
 
 // QueryPath answers a single-pair cost query and reconstructs the
-// actual node route. Unreachable pairs return an error wrapping
-// ErrNoRoute. Route reconstruction reads the store directly, so — like
-// the update methods — it is refused with ErrStoreNotOwned on a client
-// whose store is owned by a custom Runner.
+// actual node route, reading the pinned snapshot directly (snapshots
+// are immutable, so this is safe on every client, including
+// server-backed ones). Unreachable pairs return an error wrapping
+// ErrNoRoute.
 func (c *Client) QueryPath(ctx context.Context, source, target int) (Answer, *Route, error) {
-	if !c.ownStore {
-		return Answer{}, nil, fmt.Errorf("tcq: QueryPath: %w", ErrStoreNotOwned)
-	}
 	if err := ctx.Err(); err != nil {
 		return Answer{}, nil, canceledErr(ctx)
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	res, route, err := c.st.QueryPath(graph.NodeID(source), graph.NodeID(target))
+	snap := c.ds.Snapshot()
+	res, route, err := snap.st.QueryPath(graph.NodeID(source), graph.NodeID(target))
 	if err != nil {
 		return Answer{}, nil, err
 	}
@@ -306,23 +312,21 @@ func (c *Client) QueryPath(ctx context.Context, source, target int) (Answer, *Ro
 	return answerFrom(source, target, ModeCost, res), route, nil
 }
 
-// storeRunner is the default executor: direct store execution with one
-// goroutine per involved site (the paper's
+// storeRunner is the default executor: direct execution on the pinned
+// snapshot's store with one goroutine per involved site (the paper's
 // one-processor-per-fragment).
-type storeRunner struct {
-	st *dsa.Store
-}
+type storeRunner struct{}
 
 // RunPair implements Runner.
-func (r storeRunner) RunPair(ctx context.Context, source, target graph.NodeID, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error) {
+func (storeRunner) RunPair(ctx context.Context, snap *Snapshot, source, target graph.NodeID, engine dsa.Engine, mode Mode) (*dsa.Result, RunStats, error) {
 	if mode == ModePipelined {
-		res, err := r.st.QueryPipelinedEngineCtx(ctx, source, target, engine)
+		res, err := snap.st.QueryPipelinedEngineCtx(ctx, source, target, engine)
 		return res, RunStats{}, err
 	}
-	plan, err := r.st.NewPlan(source, target)
+	plan, err := snap.st.NewPlan(source, target)
 	if err != nil {
 		return nil, RunStats{}, err
 	}
-	res, err := r.st.RunPlanCtx(ctx, plan, engine, true)
+	res, err := snap.st.RunPlanCtx(ctx, plan, engine, true)
 	return res, RunStats{}, err
 }
