@@ -6,6 +6,12 @@
 // changed between passes, unreachable answer under -expect-reachable,
 // or hit rate below -min-hit-rate — the CI smoke gate.
 //
+// It is also the CI latency-SLO gate: -duration sustains the load for
+// a wall-clock window, -slo-file (or the -slo-* flags) holds the run
+// to committed p99/error budgets, and -json emits the machine-readable
+// report — client latency percentiles, the SLO verdict, and a full
+// scrape of the server's /metrics — that CI uploads as an artifact.
+//
 // Usage:
 //
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8
@@ -13,6 +19,8 @@
 //	tcload -addr http://127.0.0.1:8642 -pairs queries.txt -mode connected -engine bitset
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -api v1
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -write-rate 0.1 -expect-reachable
+//	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -write-rate 0.15 \
+//	    -duration 30s -slo-file SLO.json -json slo-report.json
 //
 // The -pairs file holds one "src dst" pair per line; # starts a
 // comment.
@@ -20,10 +28,12 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/server"
 )
@@ -40,9 +50,15 @@ func main() {
 		engine     = flag.String("engine", "", "per-request engine (empty = server default)")
 		seed       = flag.Int64("seed", 1, "random workload seed")
 		repeat     = flag.Int("repeat", 1, "passes over the same workload (>1 exercises the leg cache)")
+		duration   = flag.Duration("duration", 0, "keep replaying passes until this much wall-clock time elapsed (0 = exactly -repeat passes)")
 		expectUp   = flag.Bool("expect-reachable", false, "fail on any unreachable answer (oracle for connected graphs)")
 		minHitRate = flag.Float64("min-hit-rate", -1, "fail if the leg-cache hit rate over the run is below this (-1 = no check)")
 		writeRate  = flag.Float64("write-rate", 0, "fraction of slots that fire /v1/update write transactions instead of queries (answer-invariant heavy-edge insert+delete)")
+		sloFile    = flag.String("slo-file", "", "JSON budget file (SLO.json): run fails if the measured p99s or error rate exceed it")
+		sloP99     = flag.Duration("slo-p99", 0, "read p99 budget (overrides the file's read_p99_ms; 0 = unset)")
+		sloWriteP  = flag.Duration("slo-write-p99", 0, "write p99 budget (overrides the file's write_p99_ms; 0 = unset)")
+		sloErrRate = flag.Float64("slo-error-rate", -1, "error-rate budget, errors/requests (overrides the file's error_rate; -1 = unset)")
+		jsonOut    = flag.String("json", "", "write the machine-readable run report (latencies, SLO verdict, /metrics scrape) to this path ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -56,6 +72,7 @@ func main() {
 		API:             *api,
 		Seed:            *seed,
 		Repeat:          *repeat,
+		Duration:        *duration,
 		ExpectReachable: *expectUp,
 		WriteRate:       *writeRate,
 	}
@@ -72,11 +89,29 @@ func main() {
 		}
 		cfg.Nodes = st.Nodes
 	}
+
+	budget, err := loadBudget(*sloFile, *sloP99, *sloWriteP, *sloErrRate)
+	if err != nil {
+		fatal(err)
+	}
+
 	rep, err := server.RunLoad(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(rep.Format())
+
+	var slo *server.SLOReport
+	if !budget.Empty() {
+		slo = rep.SLO(budget)
+		fmt.Printf("SLO: read p99 %.3fms  write p99 %.3fms  error rate %.5f  -> %s\n",
+			slo.ReadP99Ms, slo.WriteP99Ms, slo.ErrorRate, verdict(slo.Pass))
+	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, rep, slo); err != nil {
+			fatal(err)
+		}
+	}
 
 	failed := false
 	if rep.Errors > 0 {
@@ -91,9 +126,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tcload: FAIL: leg-cache hit rate %.3f below floor %.3f\n", rep.HitRate, *minHitRate)
 		failed = true
 	}
+	if slo != nil && !slo.Pass {
+		for _, v := range slo.Violations {
+			fmt.Fprintf(os.Stderr, "tcload: FAIL: SLO: %s\n", v)
+		}
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// loadBudget combines the -slo-file budget with the flag overrides.
+func loadBudget(path string, readP99, writeP99 time.Duration, errRate float64) (server.SLOBudget, error) {
+	var b server.SLOBudget
+	if path != "" {
+		var err error
+		b, err = server.LoadSLOBudget(path)
+		if err != nil {
+			return b, err
+		}
+	}
+	if readP99 > 0 {
+		ms := float64(readP99) / float64(time.Millisecond)
+		b.ReadP99Ms = &ms
+	}
+	if writeP99 > 0 {
+		ms := float64(writeP99) / float64(time.Millisecond)
+		b.WriteP99Ms = &ms
+	}
+	if errRate >= 0 {
+		b.ErrorRate = &errRate
+	}
+	return b, nil
+}
+
+// report is the -json envelope: the load report plus the SLO verdict.
+type report struct {
+	*server.LoadReport
+	SLO *server.SLOReport `json:"slo,omitempty"`
+}
+
+// writeReport renders the machine-readable report to path or stdout.
+func writeReport(path string, rep *server.LoadReport, slo *server.SLOReport) error {
+	out, err := json.MarshalIndent(report{LoadReport: rep, SLO: slo}, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func verdict(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
 }
 
 // readPairs parses the explicit workload file.

@@ -15,8 +15,11 @@
 // versioned facade API: source/target sets, modes, auto-planned
 // engines, transactional op batches, typed error codes), plus the
 // legacy shims /query, /connected, and /update, /stats, /healthz (see
-// the README's serving section for schemas). Updates are copy-on-write
-// and never block in-flight queries.
+// the README's serving section for schemas), and GET /metrics, the
+// Prometheus text exposition — per-engine latency histograms,
+// leg-cache and epoch-churn counters (see the README's observability
+// section for the catalog). Updates are copy-on-write and never block
+// in-flight queries.
 package main
 
 import (

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus exposition text into a flat
+// name{labels} -> value map, the inverse of WritePrometheus for
+// scalar samples. It is the scrape half of the tcload SLO report (and
+// the CI check that /metrics stays well-formed): a line that is
+// neither a comment nor a valid sample is an error.
+//
+// Label sets are preserved verbatim (including the histogram series'
+// le="..."), so callers look samples up by the exact rendered key,
+// e.g. `tc_legcache_hits_total` or
+// `tc_query_duration_seconds_count{engine="dense",mode="cost"}`.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %v", lineNo, err)
+		}
+		out[key] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("metrics: no samples")
+	}
+	return out, nil
+}
+
+// parseSample splits one sample line into its series key and value.
+// The format is NAME[{labels}] VALUE [TIMESTAMP]; we reject anything
+// that deviates, because a malformed exporter is exactly what the CI
+// check exists to catch.
+func parseSample(line string) (string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	if !validName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	key := name
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels := rest[:end+1]
+		if err := checkLabels(labels); err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+		key = name + labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("want 'value [timestamp]' after series in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return key, v, nil
+}
+
+// checkLabels validates a {k="v",...} rendering without unescaping —
+// the keys keep the wire form.
+func checkLabels(s string) error {
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	if body == "" {
+		return nil
+	}
+	for len(body) > 0 {
+		eq := strings.Index(body, "=")
+		if eq <= 0 || !validName(body[:eq]) {
+			return fmt.Errorf("bad label name")
+		}
+		body = body[eq+1:]
+		if len(body) < 2 || body[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		// Find the closing quote, honouring escapes.
+		i := 1
+		for i < len(body) {
+			if body[i] == '\\' {
+				i += 2
+				continue
+			}
+			if body[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(body) {
+			return fmt.Errorf("unterminated label value")
+		}
+		body = body[i+1:]
+		if body == "" {
+			return nil
+		}
+		if body[0] != ',' {
+			return fmt.Errorf("bad label separator")
+		}
+		body = body[1:]
+	}
+	return nil
+}
+
+// parseValue parses a sample value including the format's infinity
+// spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

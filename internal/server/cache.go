@@ -199,7 +199,10 @@ func (c *legCache) invalidate(rebuiltSites []int, newEpoch uint64) {
 	}
 }
 
-// snapshot returns the current counters.
+// snapshot returns a value copy of the current counters taken under
+// the cache lock — the only way /stats and the /metrics collectors may
+// read them, since get/put/invalidate mutate the same struct under mu
+// (TestLegCacheSnapshotRace is the -race proof).
 func (c *legCache) snapshot() CacheStats {
 	if c == nil {
 		return CacheStats{}

@@ -76,17 +76,25 @@ type errorResponse struct {
 // batches with per-op typed error codes). The unversioned GET
 // endpoints /query and /connected remain as thin shims over the same
 // facade for existing clients, alongside /update (a single-op shim
-// over the batch path), /stats and /healthz.
+// over the batch path), /stats and /healthz. GET /metrics serves the
+// deployment's Prometheus registry in exposition text format.
+//
+// Every route is instrumented: tc_http_requests_total and
+// tc_http_errors_total count per endpoint pattern, and
+// tc_inflight_requests tracks requests currently being served.
 func (s *Server) Handler() http.Handler {
+	m := s.metrics
+	metricsHandler := m.reg.Handler()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /v1/query", s.handleV1Query)
-	mux.HandleFunc("POST /v1/batch", s.handleV1Batch)
-	mux.HandleFunc("POST /v1/update", s.handleV1Update)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /connected", s.handleConnected)
-	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", m.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("POST /v1/query", m.instrument("/v1/query", s.handleV1Query))
+	mux.HandleFunc("POST /v1/batch", m.instrument("/v1/batch", s.handleV1Batch))
+	mux.HandleFunc("POST /v1/update", m.instrument("/v1/update", s.handleV1Update))
+	mux.HandleFunc("GET /query", m.instrument("/query", s.handleQuery))
+	mux.HandleFunc("GET /connected", m.instrument("/connected", s.handleConnected))
+	mux.HandleFunc("POST /update", m.instrument("/update", s.handleUpdate))
+	mux.HandleFunc("GET /stats", m.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", m.instrument("/metrics", metricsHandler.ServeHTTP))
 	return mux
 }
 

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // LoadConfig parameterises one load-generation run against a running
@@ -48,6 +50,12 @@ type LoadConfig struct {
 	// must match pass one exactly — the cache-correctness oracle — and
 	// the leg cache should start hitting.
 	Repeat int
+	// Duration, when positive, keeps replaying passes until at least
+	// this much wall-clock time has elapsed (and at least Repeat passes
+	// ran) — the time-bounded shape the CI latency-SLO gate uses for
+	// its sustained mixed read/write load. The replay oracle still
+	// holds: every extra pass must answer identically to pass one.
+	Duration time.Duration
 	// ExpectReachable asserts every answer is reachable/connected —
 	// the oracle for workloads on connected graphs (grids), where an
 	// unreachable answer can only be a server bug.
@@ -75,38 +83,54 @@ type LoadConfig struct {
 	Timeout time.Duration
 }
 
-// LoadReport is the outcome of one load run.
+// LoadReport is the outcome of one load run. The JSON rendering is
+// the machine-readable half of the tcload SLO gate (durations are
+// nanoseconds, as Go renders time.Duration).
 type LoadReport struct {
 	// Requests is the total number of requests fired across all passes.
-	Requests int
+	Requests int `json:"requests"`
 	// Errors counts transport failures and non-2xx responses.
-	Errors int
+	Errors int `json:"errors"`
 	// Mismatches counts replay answers that differ from the first pass
 	// plus (with ExpectReachable) unreachable answers.
-	Mismatches int
+	Mismatches int `json:"mismatches"`
 	// Unreachable counts answers with reachable/connected = false.
-	Unreachable int
+	Unreachable int `json:"unreachable"`
 	// FirstIssue describes the first error or mismatch, for diagnosis.
-	FirstIssue string
+	FirstIssue string `json:"first_issue,omitempty"`
 	// Elapsed is the wall-clock time of all passes, QPS the overall
 	// request throughput.
-	Elapsed time.Duration
-	QPS     float64
+	Elapsed time.Duration `json:"elapsed_ns"`
+	QPS     float64       `json:"qps"`
 	// Latency percentiles across all requests.
-	P50, P95, P99, Max time.Duration
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+	// Passes is the number of workload passes run (> Repeat when
+	// Duration kept the load going).
+	Passes int `json:"passes"`
 	// PassQPS is the throughput of each pass — the cache warm-up curve.
-	PassQPS []float64
+	PassQPS []float64 `json:"pass_qps"`
 	// CacheHits/CacheMisses are the server-side leg-cache deltas over
 	// the run, HitRate their ratio (0 when no lookups).
-	CacheHits, CacheMisses uint64
-	HitRate                float64
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
 	// Writes counts the update transactions fired (WriteRate > 0), and
 	// WriteP50/WriteP95/WriteP99 their latency percentiles.
-	Writes                       int
-	WriteP50, WriteP95, WriteP99 time.Duration
+	Writes   int           `json:"writes"`
+	WriteP50 time.Duration `json:"write_p50_ns"`
+	WriteP95 time.Duration `json:"write_p95_ns"`
+	WriteP99 time.Duration `json:"write_p99_ns"`
 	// EpochDelta is the server epoch advance over the run — one per
 	// applied transaction.
-	EpochDelta uint64
+	EpochDelta uint64 `json:"epoch_delta"`
+	// Metrics is the server's /metrics scrape taken after the run
+	// (name{labels} -> value) — server-side truth beside the
+	// client-side latencies, and the proof the exposition format
+	// parses.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Format renders the report as a human-readable block.
@@ -227,7 +251,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	start := time.Now()
-	for pass := 0; pass < cfg.Repeat; pass++ {
+	for pass := 0; ; pass++ {
+		// Stop after Repeat passes — or, with a Duration, keep replaying
+		// until the clock runs out (whichever keeps the load running
+		// longer).
+		if pass >= cfg.Repeat && (cfg.Duration <= 0 || time.Since(start) >= cfg.Duration) {
+			break
+		}
 		passStart := time.Now()
 		idx := make(chan int)
 		var wg sync.WaitGroup
@@ -293,7 +323,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.PassQPS = append(rep.PassQPS, float64(len(pairs))/time.Since(passStart).Seconds())
 	}
 	rep.Elapsed = time.Since(start)
-	rep.Requests = len(pairs) * cfg.Repeat
+	rep.Passes = len(rep.PassQPS)
+	rep.Requests = len(pairs) * rep.Passes
 	rep.Errors = int(errorsN.Load())
 	rep.Mismatches = int(mismatches.Load())
 	rep.Unreachable = int(unreach.Load())
@@ -324,6 +355,14 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		rep.HitRate = float64(rep.CacheHits) / float64(total)
 	}
 	rep.EpochDelta = statsAfter.Epoch - statsBefore.Epoch
+	// Scrape the server's Prometheus surface into the report: the
+	// server-side counters beside the client-side latencies, and the CI
+	// assertion that the exposition format stays parseable.
+	m, err := fetchMetrics(client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("server: load: /metrics after run: %v", err)
+	}
+	rep.Metrics = m
 	return rep, nil
 }
 
@@ -455,6 +494,25 @@ func fireV1(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
 // counters around a run.
 func FetchStats(baseURL string) (*Stats, error) {
 	return fetchStats(&http.Client{Timeout: 30 * time.Second}, baseURL)
+}
+
+// FetchMetrics scrapes and parses a running server's GET /metrics
+// exposition text into a flat name{labels} -> value map.
+func FetchMetrics(baseURL string) (map[string]float64, error) {
+	return fetchMetrics(&http.Client{Timeout: 30 * time.Second}, baseURL)
+}
+
+// fetchMetrics scrapes GET /metrics.
+func fetchMetrics(client *http.Client, baseURL string) (map[string]float64, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
 }
 
 // fetchStats pulls and decodes /stats.

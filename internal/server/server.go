@@ -56,6 +56,7 @@ type Server struct {
 	facade      *tcq.Client
 	unsubscribe func()
 	start       time.Time
+	metrics     *serverMetrics
 
 	queries    atomic.Uint64
 	connected  atomic.Uint64
@@ -103,6 +104,7 @@ func NewDataset(ds *tcq.Dataset, cfg Config) (*Server, error) {
 		siteLegs:   make([]atomic.Uint64, n),
 		siteBusyNS: make([]atomic.Int64, n),
 	}
+	s.metrics = newServerMetrics(s)
 	// The server is the facade's runner: every tcq query — the /v1 API,
 	// or a library caller holding Facade() — executes through the
 	// pooled, leg-cached path below.
@@ -117,6 +119,7 @@ func NewDataset(ds *tcq.Dataset, cfg Config) (*Server, error) {
 	s.unsubscribe = ds.OnApply(func(r tcq.ApplyResult) {
 		s.cache.invalidate(r.Stats.SitesRebuilt, r.Epoch)
 		s.updates.Add(1)
+		s.metrics.observeApply(r)
 	})
 	return s, nil
 }
@@ -135,8 +138,12 @@ func (s *Server) Dataset() *tcq.Dataset { return s.ds }
 // executor — or the store's pipelined walk for ModePipelined, which is
 // vector-seeded and therefore uncacheable.
 func (s *Server) RunPair(ctx context.Context, snap *tcq.Snapshot, source, target graph.NodeID, engine dsa.Engine, mode tcq.Mode) (*dsa.Result, tcq.RunStats, error) {
+	start := time.Now()
 	if mode == tcq.ModePipelined {
 		res, err := s.queryPipelinedOn(ctx, snap, source, target, engine)
+		if err == nil {
+			s.metrics.observeQuery(engine.String(), mode, time.Since(start))
+		}
 		return res, tcq.RunStats{}, err
 	}
 	res, qs, err := s.runCtx(ctx, snap, source, target, engine, mode == tcq.ModeCost)
@@ -149,6 +156,7 @@ func (s *Server) RunPair(ctx context.Context, snap *tcq.Snapshot, source, target
 	} else {
 		s.connected.Add(1)
 	}
+	s.metrics.observeQuery(engine.String(), mode, time.Since(start))
 	return res, tcq.RunStats{CacheHits: qs.CacheHits, CacheMisses: qs.CacheMisses}, nil
 }
 
@@ -385,6 +393,11 @@ type Stats struct {
 
 	Cache CacheStats  `json:"cache"`
 	Site  []SiteStats `json:"sites_work"`
+
+	// Metrics is the flattened sample snapshot of the Prometheus
+	// registry (name{labels} -> value) — the same numbers GET /metrics
+	// exposes, embedded so /stats consumers need no second scrape.
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // Stats snapshots the server counters.
@@ -410,5 +423,6 @@ func (s *Server) Stats() Stats {
 	for i := range s.siteLegs {
 		st.Site[i] = SiteStats{Legs: s.siteLegs[i].Load(), BusyNS: s.siteBusyNS[i].Load()}
 	}
+	st.Metrics = s.metrics.reg.Snapshot()
 	return st
 }
