@@ -24,8 +24,8 @@ import (
 func main() {
 	var (
 		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
-		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving, updates (empty = all)")
-		jsonPath   = flag.String("json", "", "write the experiment result as JSON to this file (updates experiment)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving, updates, cluster (empty = all)")
+		jsonPath   = flag.String("json", "", "write the experiment result as JSON to this file (updates and cluster experiments)")
 		trials     = flag.Int("trials", 10, "random graphs per table")
 		queries    = flag.Int("queries", 20, "queries per performance point")
 		sources    = flag.Int("sources", 2, "entry-set size for the engines and cost experiments")
@@ -128,6 +128,18 @@ func main() {
 		})
 		run("updates", func() (fmt.Stringer, error) {
 			r, err := bench.Updates(*queries, *seed)
+			if err != nil {
+				return nil, err
+			}
+			if *jsonPath != "" {
+				if err := writeResultJSON(*jsonPath, r); err != nil {
+					return nil, err
+				}
+			}
+			return formatter{r.Format}, nil
+		})
+		run("cluster", func() (fmt.Stringer, error) {
+			r, err := bench.Cluster(*queries, *seed)
 			if err != nil {
 				return nil, err
 			}

@@ -21,6 +21,14 @@
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -write-rate 0.1 -expect-reachable
 //	tcload -addr http://127.0.0.1:8642 -n 200 -parallel 8 -write-rate 0.15 \
 //	    -duration 30s -slo-file SLO.json -json slo-report.json
+//	tcload -addrs http://127.0.0.1:8642,http://127.0.0.1:8643,http://127.0.0.1:8644 \
+//	    -n 200 -parallel 8 -repeat 2 -expect-reachable
+//
+// With -addrs the workload targets a cluster: read queries round-robin
+// across every node (each is a full coordinator), while writes, the
+// cache-delta differencing and the /metrics scrape pin to the first
+// address. The replay oracle then doubles as a cross-node coherence
+// check — every node must answer every pair identically.
 //
 // The -pairs file holds one "src dst" pair per line; # starts a
 // comment.
@@ -41,6 +49,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", "http://127.0.0.1:8642", "server base URL")
+		addrs      = flag.String("addrs", "", "comma-separated cluster base URLs: reads round-robin across them, writes and stats pin to the first (overrides -addr)")
 		n          = flag.Int("n", 200, "requests per pass (random workload)")
 		parallel   = flag.Int("parallel", 8, "concurrent workers")
 		nodes      = flag.Int("nodes", 0, "random src/dst drawn from [0, nodes); 0 = ask the server's /stats")
@@ -64,6 +73,7 @@ func main() {
 
 	cfg := server.LoadConfig{
 		BaseURL:         strings.TrimRight(*addr, "/"),
+		BaseURLs:        parseAddrs(*addrs),
 		Requests:        *n,
 		Parallel:        *parallel,
 		Nodes:           *nodes,
@@ -83,7 +93,11 @@ func main() {
 		}
 		cfg.Pairs = pairs
 	} else if cfg.Nodes <= 0 {
-		st, err := server.FetchStats(cfg.BaseURL)
+		statsURL := cfg.BaseURL
+		if len(cfg.BaseURLs) > 0 {
+			statsURL = cfg.BaseURLs[0]
+		}
+		st, err := server.FetchStats(statsURL)
 		if err != nil {
 			fatal(fmt.Errorf("discovering node count from /stats: %v", err))
 		}
@@ -135,6 +149,20 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// parseAddrs splits the -addrs cluster target list (nil when unset).
+func parseAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimRight(strings.TrimSpace(a), "/"); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // loadBudget combines the -slo-file budget with the flag overrides.

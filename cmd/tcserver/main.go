@@ -10,6 +10,14 @@
 //	tcserver -grid 64x64 -fragments 8 -listen 127.0.0.1:8642
 //	tcserver -grid 32x32 -fragments 4 -engine dense -cache 4096
 //	tcserver -grid 64x64 -fragments 8 -pprof   # /debug/pprof/ exposed
+//	tcserver -grid 64x64 -fragments 8 -node-id a \
+//	        -peers a=http://h1:8642,b=http://h2:8642,c=http://h3:8642
+//
+// With -node-id/-peers the node joins a static multi-node cluster: a
+// consistent-hash ring assigns every site an owning node, queries
+// scatter-gather their legs across owners over POST /v1/leg (the
+// internal peer endpoint), and /v1/update transactions fan out to all
+// peers with a coherent epoch swap (see the README's cluster section).
 //
 // Endpoints: POST /v1/query, POST /v1/batch and POST /v1/update (the
 // versioned facade API: source/target sets, modes, auto-planned
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fragment"
 	"repro/internal/fragment/linear"
 	"repro/internal/gen"
@@ -58,6 +67,9 @@ func main() {
 		workers   = flag.Int("site-workers", 1, "worker goroutines per site")
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
+		nodeID    = flag.String("node-id", "", "this node's ID in a multi-node cluster (requires -peers)")
+		peers     = flag.String("peers", "", "static cluster membership as id=url pairs, e.g. a=http://h1:8642,b=http://h2:8642 (this node included)")
+		rpcTO     = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline for cluster peer calls")
 	)
 	flag.Parse()
 
@@ -85,10 +97,16 @@ func main() {
 		time.Since(buildStart).Round(time.Millisecond), snap.Stats().Sites,
 		prep.DisconnectionSets, prep.PairsStored, snap.Stats().LooselyConnected)
 
+	coord, err := buildCluster(*nodeID, *peers, *rpcTO, snap.Stats().Sites)
+	if err != nil {
+		fatal(err)
+	}
+
 	srv, err := server.NewDataset(ds, server.Config{
 		DefaultEngine: eng,
 		CacheCapacity: *cacheCap,
 		SiteWorkers:   *workers,
+		Cluster:       coord,
 	})
 	if err != nil {
 		fatal(err)
@@ -174,6 +192,37 @@ func loadFragmentation(graphFile, fragFile, grid string, frags int, diag float64
 	default:
 		return nil, fmt.Errorf("need either -graph and -frag, or -grid")
 	}
+}
+
+// buildCluster resolves the -node-id/-peers flags into a coordinator
+// (nil when the flags are unset: a single-node deployment) and logs
+// the site placement the consistent-hash ring derived — identical on
+// every member, so the log lines agree across the fleet.
+func buildCluster(nodeID, peers string, rpcTimeout time.Duration, sites int) (*cluster.Coordinator, error) {
+	if peers == "" && nodeID == "" {
+		return nil, nil
+	}
+	if peers == "" || nodeID == "" {
+		return nil, fmt.Errorf("cluster mode needs both -node-id and -peers")
+	}
+	nodes, err := cluster.ParsePeers(peers)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := cluster.New(cluster.Config{NodeID: nodeID, Peers: nodes, Timeout: rpcTimeout})
+	if err != nil {
+		return nil, err
+	}
+	placement := coord.Placement(sites)
+	fmt.Fprintf(os.Stderr, "tcserver: cluster node %q of %d nodes; site placement:\n", nodeID, len(nodes))
+	for _, n := range coord.Nodes() {
+		marker := ""
+		if n.ID == nodeID {
+			marker = " (this node)"
+		}
+		fmt.Fprintf(os.Stderr, "tcserver:   %s -> sites %v%s\n", n.ID, placement[n.ID], marker)
+	}
+	return coord, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,177 @@
+// Package cluster makes leg execution location-transparent: a static
+// membership of tcserver nodes, a consistent-hash ring assigning every
+// site (fragment) an owning node, and an HTTP/JSON transport that
+// ships leg computations to their owners. It is the paper's
+// distribution model made real — fragments are worked on by different
+// sites and only the small (entry, exit, cost) complementary tables
+// cross the wire — layered behind the serving layer's executor so a
+// query fans its site route across the cluster and assembles the legs
+// exactly as it would locally.
+//
+// Deployment model: every node builds the identical store from the
+// identical input (same graph + fragmentation, same update batch
+// sequence), so the ring shards *work* — CPU and leg-cache locality —
+// not data. Site i's legs always execute on owner(i), which therefore
+// accumulates the complete cache working set for its sites instead of
+// every node caching everything. Updates fan out to every peer and the
+// epoch is the coherence token: each leg RPC carries the coordinator's
+// pinned epoch, and a peer that cannot serve that generation answers
+// with a typed epoch-skew refusal instead of silently mixing
+// generations.
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one tcserver process of a static cluster membership.
+type Node struct {
+	// ID is the node's stable name (the -node-id flag).
+	ID string `json:"id"`
+	// URL is the node's base HTTP address, e.g. http://10.0.0.1:8642.
+	URL string `json:"url"`
+}
+
+// ParsePeers parses a static membership list of the -peers flag form
+// "a=http://host1:8642,b=http://host2:8642". IDs and URLs must be
+// non-empty and unique; URLs must be absolute http(s) addresses.
+func ParsePeers(s string) ([]Node, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	var nodes []Node
+	seenID := map[string]bool{}
+	seenURL := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		u, err := url.Parse(addr)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad peer URL %q (want http(s)://host:port)", addr)
+		}
+		if seenID[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		if seenURL[addr] {
+			return nil, fmt.Errorf("cluster: duplicate peer URL %q", addr)
+		}
+		seenID[id] = true
+		seenURL[addr] = true
+		nodes = append(nodes, Node{ID: id, URL: strings.TrimRight(addr, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return nodes, nil
+}
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// NodeID names this node; it must appear in Peers.
+	NodeID string
+	// Peers is the full static membership, this node included.
+	Peers []Node
+	// VirtualNodes is the ring points per node (default 64): enough for
+	// an even site spread across a handful of nodes while keeping the
+	// ring tiny.
+	VirtualNodes int
+	// Timeout bounds each peer RPC (default 5s).
+	Timeout time.Duration
+	// NewTransport builds the transport for one peer; nil selects the
+	// HTTP/JSON transport. Tests inject in-process transports here.
+	NewTransport func(Node) Transport
+}
+
+// Coordinator is one node's routing + fan-out brain: the membership,
+// the site→node ring and one transport per peer. It is immutable after
+// New and safe for concurrent use.
+type Coordinator struct {
+	self       Node
+	nodes      []Node // sorted by ID, self included
+	ring       *ring
+	transports map[string]Transport // remote peers only
+	timeout    time.Duration
+	m          *clusterMetrics
+}
+
+// New validates the membership and builds the coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers configured")
+	}
+	if cfg.VirtualNodes <= 0 {
+		cfg.VirtualNodes = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	nodes := append([]Node(nil), cfg.Peers...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	c := &Coordinator{
+		nodes:      nodes,
+		ring:       newRing(nodes, cfg.VirtualNodes),
+		transports: make(map[string]Transport),
+		timeout:    cfg.Timeout,
+	}
+	selfIdx := -1
+	for i, n := range nodes {
+		if i > 0 && nodes[i-1].ID == n.ID {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", n.ID)
+		}
+		if n.ID == cfg.NodeID {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("cluster: node id %q not in peer list", cfg.NodeID)
+	}
+	c.self = nodes[selfIdx]
+	newTransport := cfg.NewTransport
+	if newTransport == nil {
+		newTransport = func(n Node) Transport { return NewHTTPTransport(n, cfg.Timeout) }
+	}
+	for _, n := range nodes {
+		if n.ID != c.self.ID {
+			c.transports[n.ID] = newTransport(n)
+		}
+	}
+	return c, nil
+}
+
+// Self returns this node's membership entry.
+func (c *Coordinator) Self() Node { return c.self }
+
+// Nodes returns the full membership, sorted by ID.
+func (c *Coordinator) Nodes() []Node { return append([]Node(nil), c.nodes...) }
+
+// Owner returns the node the ring assigns site to.
+func (c *Coordinator) Owner(site int) Node { return c.nodes[c.ring.owner(site)] }
+
+// IsLocal reports whether this node owns site's legs.
+func (c *Coordinator) IsLocal(site int) bool { return c.Owner(site).ID == c.self.ID }
+
+// Placement maps every site of [0, sites) to its owning node ID —
+// the routing table view served at /stats and logged at startup.
+func (c *Coordinator) Placement(sites int) map[string][]int {
+	out := make(map[string][]int, len(c.nodes))
+	for _, n := range c.nodes {
+		out[n.ID] = []int{}
+	}
+	for s := 0; s < sites; s++ {
+		id := c.Owner(s).ID
+		out[id] = append(out[id], s)
+	}
+	return out
+}

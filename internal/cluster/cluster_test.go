@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func nodes3() []Node {
+	return []Node{
+		{ID: "a", URL: "http://h1:8642"},
+		{ID: "b", URL: "http://h2:8642"},
+		{ID: "c", URL: "http://h3:8642"},
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("b=http://h2:8642, a=http://h1:8642 ,c=http://h3:8642/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nodes3()
+	if len(nodes) != len(want) {
+		t.Fatalf("got %d nodes, want %d", len(nodes), len(want))
+	}
+	// Sorted by ID, trailing slash trimmed.
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("node %d: got %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+}
+
+func TestParsePeersRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"  ,  ",
+		"a=",
+		"=http://h1:8642",
+		"noequals",
+		"a=ftp://h1:8642",
+		"a=h1:8642",
+		"a=http://",
+		"a=http://h1:8642,a=http://h2:8642",
+		"a=http://h1:8642,b=http://h1:8642",
+	} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestNewValidatesMembership(t *testing.T) {
+	if _, err := New(Config{NodeID: "zz", Peers: nodes3()}); err == nil {
+		t.Error("New accepted a node ID outside the membership")
+	}
+	if _, err := New(Config{NodeID: "a"}); err == nil {
+		t.Error("New accepted an empty membership")
+	}
+	dup := append(nodes3(), Node{ID: "a", URL: "http://h4:8642"})
+	if _, err := New(Config{NodeID: "a", Peers: dup}); err == nil {
+		t.Error("New accepted a duplicate node ID")
+	}
+}
+
+// TestRingDeterministic is the property the routing layer rests on:
+// every member derives the identical site→node table from the shared
+// membership, with no coordination traffic.
+func TestRingDeterministic(t *testing.T) {
+	var coords []*Coordinator
+	for _, id := range []string{"a", "b", "c"} {
+		c, err := New(Config{NodeID: id, Peers: nodes3()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coords = append(coords, c)
+	}
+	for site := 0; site < 512; site++ {
+		owner := coords[0].Owner(site)
+		for _, c := range coords[1:] {
+			if got := c.Owner(site); got != owner {
+				t.Fatalf("site %d: node %s routes to %s, node %s routes to %s",
+					site, coords[0].Self().ID, owner.ID, c.Self().ID, got.ID)
+			}
+		}
+	}
+}
+
+// TestRingSpread checks the vnode count is high enough that a
+// smoke-scale site range lands on every node — a cluster where one
+// member owns nothing is a misconfigured deployment, not sharding.
+func TestRingSpread(t *testing.T) {
+	c, err := New(Config{NodeID: "a", Peers: nodes3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sites = 64
+	placement := c.Placement(sites)
+	total := 0
+	for _, n := range c.Nodes() {
+		owned := placement[n.ID]
+		if len(owned) == 0 {
+			t.Errorf("node %s owns no sites of %d", n.ID, sites)
+		}
+		total += len(owned)
+	}
+	if total != sites {
+		t.Fatalf("placement covers %d sites, want %d", total, sites)
+	}
+	// Placement and Owner must agree: the /stats routing table is the
+	// table queries actually route by.
+	for _, n := range c.Nodes() {
+		for _, s := range placement[n.ID] {
+			if got := c.Owner(s).ID; got != n.ID {
+				t.Errorf("placement says node %s owns site %d, Owner says %s", n.ID, s, got)
+			}
+		}
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	c, err := New(Config{NodeID: "b", Peers: nodes3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site := 0; site < 64; site++ {
+		if got, want := c.IsLocal(site), c.Owner(site).ID == "b"; got != want {
+			t.Errorf("site %d: IsLocal %v, owner %s", site, got, c.Owner(site).ID)
+		}
+	}
+}

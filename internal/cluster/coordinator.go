@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/relation"
+	"repro/internal/tc"
+)
+
+// This file is the coordinator's execution side: shipping one leg to
+// its remote owner and fanning an update transaction out to every
+// peer, both instrumented per peer. The scatter half of scatter-gather
+// lives in the serving layer (it owns the plan and the merge); the
+// coordinator owns everything that crosses the wire.
+
+// clusterMetrics instruments the transport seam. All handles are
+// created lazily by Register — a coordinator without a registry (unit
+// tests, bare library use) runs unobserved at zero cost.
+type clusterMetrics struct {
+	// rpcLatency is tc_peer_rpc_duration_seconds{peer,rpc}: wall-clock
+	// latency of each peer round trip, by peer ID and RPC kind
+	// (leg | update).
+	rpcLatency *metrics.HistogramVec
+	// rpcErrors is tc_peer_rpc_errors_total{peer,code}: failed round
+	// trips by peer and typed failure code.
+	rpcErrors *metrics.CounterVec
+	// legFanout is tc_leg_fanout_total{peer}: legs shipped to each
+	// remote owner.
+	legFanout *metrics.CounterVec
+	// legsLocal is tc_legs_local_total: legs this node owned and
+	// executed in-process.
+	legsLocal *metrics.Counter
+	// updateFanout is tc_update_fanout_total{peer}: update transactions
+	// forwarded to each peer.
+	updateFanout *metrics.CounterVec
+}
+
+// Register creates the coordinator's metric families in reg — called
+// once by the serving layer at deploy time, before traffic.
+func (c *Coordinator) Register(reg *metrics.Registry) {
+	m := &clusterMetrics{}
+	m.rpcLatency = reg.HistogramVec("tc_peer_rpc_duration_seconds",
+		"Peer RPC round-trip latency, by peer and RPC kind.",
+		nil, "peer", "rpc")
+	m.rpcErrors = reg.CounterVec("tc_peer_rpc_errors_total",
+		"Failed peer RPCs, by peer and typed failure code.", "peer", "code")
+	m.legFanout = reg.CounterVec("tc_leg_fanout_total",
+		"Legs shipped to remote owners, by peer.", "peer")
+	m.legsLocal = reg.Counter("tc_legs_local_total",
+		"Legs owned and executed by this node in-process.")
+	m.updateFanout = reg.CounterVec("tc_update_fanout_total",
+		"Update transactions forwarded to peers, by peer.", "peer")
+	c.m = m
+}
+
+// LocalLeg records one leg this node owned and ran in-process — the
+// local side of the fan-out ratio.
+func (c *Coordinator) LocalLeg() {
+	if c.m != nil {
+		c.m.legsLocal.Inc()
+	}
+}
+
+// observeRPC records one peer round trip.
+func (c *Coordinator) observeRPC(peer, rpc string, took time.Duration, err error) {
+	if c.m == nil {
+		return
+	}
+	c.m.rpcLatency.With(peer, rpc).Observe(took.Seconds())
+	if err != nil {
+		c.m.rpcErrors.With(peer, errCode(err)).Inc()
+	}
+}
+
+// errCode is the bounded label vocabulary of rpcErrors.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrPeerTimeout):
+		return "peer_timeout"
+	case errors.Is(err, ErrPeerDown):
+		return "peer_down"
+	case errors.Is(err, ErrEpochSkew):
+		return "epoch_skew"
+	case errors.Is(err, ErrBadPeerResponse):
+		return "bad_peer_response"
+	}
+	return "other"
+}
+
+// ExecuteLeg ships one leg to the site's remote owner at the pinned
+// epoch and rebuilds the returned fact relation. The site must not be
+// local (the caller routes local sites through its own executor). A
+// peer answering from a different generation than it was asked for is
+// an ErrEpochSkew — the response echo is the coherence check.
+func (c *Coordinator) ExecuteLeg(ctx context.Context, site int, entry []graph.NodeID, engine string, epoch uint64) (*relation.Relation, tc.Stats, bool, error) {
+	owner := c.Owner(site)
+	t := c.transports[owner.ID]
+	if t == nil {
+		return nil, tc.Stats{}, false, fmt.Errorf("cluster: site %d is owned locally by %s; remote execution is for remote owners", site, c.self.ID)
+	}
+	rpcCtx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := t.ExecuteLeg(rpcCtx, NewLegRequest(site, entry, engine, epoch))
+	c.observeRPC(owner.ID, "leg", time.Since(start), err)
+	if err != nil {
+		return nil, tc.Stats{}, false, err
+	}
+	if resp.Epoch != epoch {
+		return nil, tc.Stats{}, false, fmt.Errorf("cluster: %w: peer %s answered leg for site %d at epoch %d, want %d",
+			ErrEpochSkew, owner.ID, site, resp.Epoch, epoch)
+	}
+	rel, stats, err := resp.Facts()
+	if err != nil {
+		return nil, tc.Stats{}, false, err
+	}
+	if c.m != nil {
+		c.m.legFanout.With(owner.ID).Inc()
+	}
+	return rel, stats, resp.CacheHit, nil
+}
+
+// PeerAck is one peer's acknowledgement of a fanned-out update.
+type PeerAck struct {
+	// Node is the acking peer's ID.
+	Node string `json:"node"`
+	// Epoch is the generation the peer landed on.
+	Epoch uint64 `json:"epoch"`
+}
+
+// FanOutUpdate forwards one applied update transaction to every peer
+// in parallel and verifies the coherent epoch swap: each peer must ack
+// exactly wantEpoch (the epoch the local apply produced — every node
+// replays the same batch sequence, so generations advance in
+// lockstep). Any transport failure or diverging ack surfaces as a
+// typed error; the returned acks cover the peers that answered, for
+// the response's audit trail. On error the cluster must be considered
+// incoherent until a retry (or operator intervention) converges it —
+// subsequent cross-node reads will fail with ErrEpochSkew rather than
+// mix generations.
+func (c *Coordinator) FanOutUpdate(ctx context.Context, ops []UpdateOp, wantEpoch uint64) ([]PeerAck, error) {
+	peers := make([]Node, 0, len(c.transports))
+	for _, n := range c.nodes {
+		if n.ID != c.self.ID {
+			peers = append(peers, n)
+		}
+	}
+	acks := make([]PeerAck, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := c.transports[peer.ID]
+			rpcCtx, cancel := context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+			start := time.Now()
+			ack, err := t.ForwardUpdate(rpcCtx, &UpdateRequest{Ops: ops})
+			if err == nil && ack.Epoch != wantEpoch {
+				err = fmt.Errorf("cluster: %w: peer %s acked update at epoch %d, want %d",
+					ErrEpochSkew, peer.ID, ack.Epoch, wantEpoch)
+			}
+			c.observeRPC(peer.ID, "update", time.Since(start), err)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if c.m != nil {
+				c.m.updateFanout.With(peer.ID).Inc()
+			}
+			acks[i] = PeerAck{Node: peer.ID, Epoch: ack.Epoch}
+		}()
+	}
+	wg.Wait()
+	good := acks[:0]
+	for i := range acks {
+		if errs[i] == nil {
+			good = append(good, acks[i])
+		}
+	}
+	return good, errors.Join(errs...)
+}

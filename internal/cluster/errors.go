@@ -1,0 +1,29 @@
+package cluster
+
+import "errors"
+
+// Typed errors of the transport seam, following the repo's convention:
+// sentinels are rooted in the layer that first detects the condition
+// and re-exported by pkg/tcq, so errors.Is works identically whether a
+// caller holds the facade or this package. Each failure mode of a peer
+// RPC maps to exactly one sentinel — the distinction is what lets
+// callers (and the /v1 error codes) tell a dead peer from a slow one
+// from a coherence violation.
+var (
+	// ErrPeerDown reports a peer that could not be reached at all:
+	// connection refused, DNS failure, connection reset mid-request.
+	ErrPeerDown = errors.New("cluster peer down")
+	// ErrPeerTimeout reports a peer that accepted the connection but did
+	// not answer within the RPC deadline.
+	ErrPeerTimeout = errors.New("cluster peer timeout")
+	// ErrEpochSkew reports an epoch-coherence violation: a peer could
+	// not serve the requested store generation (a leg RPC pinned to an
+	// epoch the peer no longer — or does not yet — hold), or an update
+	// fan-out left peers on diverging epochs. Cross-node reads fail with
+	// this instead of silently mixing generations.
+	ErrEpochSkew = errors.New("cluster epoch skew")
+	// ErrBadPeerResponse reports a peer that answered outside the
+	// protocol: an undecodable body, mismatched fact columns, or an
+	// error envelope this node cannot interpret.
+	ErrBadPeerResponse = errors.New("bad cluster peer response")
+)

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over the membership: every node
+// contributes VirtualNodes points, and a site is owned by the first
+// point clockwise of the site's own hash. The construction is fully
+// deterministic in the membership (ID set + vnode count), so every
+// node of the cluster computes the identical site→node table without
+// any coordination traffic — the property the whole routing layer
+// rests on. Consistency buys the usual bound: adding or removing one
+// node remaps only the sites whose arcs it held, so peer leg caches
+// keep most of their working set across membership edits.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a hash position and the index of the
+// owning node in the coordinator's sorted membership.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+func newRing(nodes []Node, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for i, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n.ID, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so the table
+		// stays identical on every member.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// owner returns the membership index owning the site.
+func (r *ring) owner(site int) int {
+	h := hash64(fmt.Sprintf("site/%d", site))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].node
+}
+
+// hash64 is FNV-1a with an avalanche finalizer. FNV alone is stable
+// across processes and Go releases (unlike maphash, which is what lets
+// every node derive the same ring) but clusters badly on the short,
+// near-identical keys the ring feeds it — "a#0" and "a#1" differ only
+// in their final rounds, so their high bits (which decide ring
+// position) stay correlated and whole nodes can end up owning nothing.
+// The murmur3-style finalizer is a fixed bijection that spreads that
+// correlation across all 64 bits while keeping the hash deterministic.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,488 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dsa"
+	"repro/internal/fragment/linear"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
+	"repro/pkg/tcq"
+)
+
+// swapHandler is an http.Handler whose delegate is installed after the
+// listener starts — the knot-tying a test cluster needs: peer URLs
+// must exist before the coordinators (and so the servers) that answer
+// on them can be built.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := s.h.Load()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	(*h).ServeHTTP(w, r)
+}
+
+// testCluster is an in-process multi-node deployment wired over real
+// HTTP: every node an identical store, the ring sharding leg work.
+type testCluster struct {
+	servers []*Server
+	https   []*httptest.Server
+	ids     []string
+}
+
+// newTestCluster deploys n nodes over the same w×h grid fragmented
+// into frags sites. mutate, when non-nil, edits each node's cluster
+// config before New — the hook fault-injection tests use to swap in
+// failing transports.
+func newTestCluster(t *testing.T, w, h, frags, n int, mutate func(i int, cfg *cluster.Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	var peers []cluster.Node
+	var swaps []*swapHandler
+	for i := 0; i < n; i++ {
+		id := string(rune('a' + i))
+		sw := &swapHandler{}
+		hs := httptest.NewServer(sw)
+		t.Cleanup(hs.Close)
+		tc.ids = append(tc.ids, id)
+		swaps = append(swaps, sw)
+		tc.https = append(tc.https, hs)
+		peers = append(peers, cluster.Node{ID: id, URL: hs.URL})
+	}
+	for i := 0; i < n; i++ {
+		g, err := gen.Grid(gen.GridConfig{Width: w, Height: h, DiagonalProb: 0.15, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := linear.Fragment(g, linear.Options{NumFragments: frags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := tcq.NewDataset(res.Fragmentation, tcq.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.Config{NodeID: tc.ids[i], Peers: peers, Timeout: 10 * time.Second}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		coord, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewDataset(ds, Config{CacheCapacity: 256, Cluster: coord})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		handler := srv.Handler()
+		swaps[i].h.Store(&handler)
+		tc.servers = append(tc.servers, srv)
+	}
+	return tc
+}
+
+// TestClusterMatchesSingleNode is the tentpole's correctness property:
+// a 3-node cluster sharding leg execution over real HTTP answers
+// exactly what a single-node deployment answers, from every
+// coordinator, including on cache-hitting replays.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	tcl := newTestCluster(t, 8, 8, 8, 3, nil)
+	ref, _ := newGridServer(t, 8, 8, 8, Config{CacheCapacity: 256})
+
+	rng := rand.New(rand.NewSource(11))
+	for q := 0; q < 12; q++ {
+		src := graph.NodeID(rng.Intn(64))
+		dst := graph.NodeID(rng.Intn(64))
+		want, _, err := ref.Query(src, dst, dsa.EngineDijkstra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ni, srv := range tcl.servers {
+			// Twice: the replay answers from caches (local and remote).
+			for pass := 0; pass < 2; pass++ {
+				got, _, err := srv.Query(src, dst, dsa.EngineDijkstra)
+				if err != nil {
+					t.Fatalf("node %s query %d->%d pass %d: %v", tcl.ids[ni], src, dst, pass, err)
+				}
+				if got.Reachable != want.Reachable {
+					t.Errorf("node %s %d->%d pass %d: reachable %v, single-node %v",
+						tcl.ids[ni], src, dst, pass, got.Reachable, want.Reachable)
+				}
+				if want.Reachable && math.Abs(got.Cost-want.Cost) > 1e-9 {
+					t.Errorf("node %s %d->%d pass %d: cost %v, single-node %v",
+						tcl.ids[ni], src, dst, pass, got.Cost, want.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterPlacementExplain: a clustered /v1/query annotates its
+// explain block with the per-site node placement, and the entries
+// agree with the ring.
+func TestClusterPlacementExplain(t *testing.T) {
+	tcl := newTestCluster(t, 8, 8, 8, 3, nil)
+	var vr V1QueryResponse
+	status := postV1(t, tcl.https[0].URL+"/v1/query", V1Request{
+		Sources: []int{0}, Targets: []int{63}, Mode: "cost", Engine: "dijkstra",
+	}, &vr)
+	if status != http.StatusOK {
+		t.Fatalf("clustered /v1/query: status %d", status)
+	}
+	if len(vr.Explain.Placement) == 0 {
+		t.Fatal("clustered /v1/query carried no placement explain")
+	}
+	coord := tcl.servers[0].cluster
+	for _, p := range vr.Explain.Placement {
+		if want := coord.Owner(p.Site).ID; p.Node != want {
+			t.Errorf("placement says site %d on node %s, ring says %s", p.Site, p.Node, want)
+		}
+	}
+
+	// Single-node deployments must not grow the field.
+	ref, _ := newGridServer(t, 8, 8, 4, Config{})
+	ts := httptest.NewServer(ref.Handler())
+	defer ts.Close()
+	var solo V1QueryResponse
+	postV1(t, ts.URL+"/v1/query", V1Request{Sources: []int{0}, Targets: []int{63}, Mode: "cost"}, &solo)
+	if len(solo.Explain.Placement) != 0 {
+		t.Errorf("single-node /v1/query reported placement %+v", solo.Explain.Placement)
+	}
+}
+
+// TestClusterStats: /stats exposes the membership and the full routing
+// table, identically on every node.
+func TestClusterStats(t *testing.T) {
+	tcl := newTestCluster(t, 6, 6, 4, 3, nil)
+	var tables []map[string][]int
+	for ni, srv := range tcl.servers {
+		st := srv.Stats()
+		if st.Cluster == nil {
+			t.Fatalf("node %s /stats has no cluster block", tcl.ids[ni])
+		}
+		if st.Cluster.NodeID != tcl.ids[ni] {
+			t.Errorf("node %s reports node_id %s", tcl.ids[ni], st.Cluster.NodeID)
+		}
+		if len(st.Cluster.Nodes) != 3 {
+			t.Errorf("node %s reports %d members", tcl.ids[ni], len(st.Cluster.Nodes))
+		}
+		tables = append(tables, st.Cluster.Placement)
+	}
+	for ni, table := range tables[1:] {
+		if fmt.Sprint(table) != fmt.Sprint(tables[0]) {
+			t.Errorf("node %s placement %v differs from node a's %v", tcl.ids[ni+1], table, tables[0])
+		}
+	}
+}
+
+// TestClusterUpdateFanOut: a /v1/update against one node fans out to
+// every peer with a coherent epoch swap, a remote owner rebuilds its
+// fragment, and post-update answers stay equivalent to a single node
+// that applied the same transaction.
+func TestClusterUpdateFanOut(t *testing.T) {
+	tcl := newTestCluster(t, 8, 8, 8, 3, nil)
+	ref, _ := newGridServer(t, 8, 8, 8, Config{CacheCapacity: 256})
+
+	// Pick a fragment the coordinator does NOT own: the update must
+	// rebuild on a remote owner and still be visible everywhere.
+	coord := tcl.servers[0].cluster
+	frag := -1
+	for s := 0; s < 8; s++ {
+		if !coord.IsLocal(s) {
+			frag = s
+			break
+		}
+	}
+	if frag < 0 {
+		t.Fatal("ring assigned every site to node a")
+	}
+
+	// An edge inside the fragment: linear fragmentation over the 64-node
+	// grid puts nodes [frag*8, frag*8+8) in fragment frag.
+	from, to := frag*8, frag*8+1
+	op := V1UpdateOp{Op: "insert", Fragment: frag, From: from, To: to, Weight: 0.25}
+	var ur V1UpdateResponse
+	status := postV1(t, tcl.https[0].URL+"/v1/update", V1UpdateRequest{Ops: []V1UpdateOp{op}}, &ur)
+	if status != http.StatusOK {
+		t.Fatalf("clustered /v1/update: status %d: %+v", status, ur)
+	}
+	if ur.Epoch != 1 || ur.Applied != 1 {
+		t.Fatalf("update answered epoch %d applied %d, want 1/1", ur.Epoch, ur.Applied)
+	}
+	if len(ur.Cluster) != 2 {
+		t.Fatalf("update acked by %d peers, want 2: %+v", len(ur.Cluster), ur.Cluster)
+	}
+	for _, ack := range ur.Cluster {
+		if ack.Epoch != 1 {
+			t.Errorf("peer %s acked epoch %d, want 1", ack.Node, ack.Epoch)
+		}
+	}
+	for ni, srv := range tcl.servers {
+		if got := srv.Dataset().Epoch(); got != 1 {
+			t.Errorf("node %s at epoch %d after fan-out, want 1", tcl.ids[ni], got)
+		}
+	}
+
+	// Reference applies the identical transaction; answers must match
+	// from every coordinator — including pairs crossing the remotely
+	// rebuilt fragment.
+	if _, err := ref.InsertEdge(frag, graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to), Weight: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	pairs := [][2]graph.NodeID{{graph.NodeID(from), graph.NodeID(to)}, {0, 63}}
+	for q := 0; q < 8; q++ {
+		pairs = append(pairs, [2]graph.NodeID{graph.NodeID(rng.Intn(64)), graph.NodeID(rng.Intn(64))})
+	}
+	for _, p := range pairs {
+		want, _, err := ref.Query(p[0], p[1], dsa.EngineDijkstra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ni, srv := range tcl.servers {
+			got, _, err := srv.Query(p[0], p[1], dsa.EngineDijkstra)
+			if err != nil {
+				t.Fatalf("node %s query %d->%d post-update: %v", tcl.ids[ni], p[0], p[1], err)
+			}
+			if got.Reachable != want.Reachable || (want.Reachable && math.Abs(got.Cost-want.Cost) > 1e-9) {
+				t.Errorf("node %s %d->%d post-update: (%v, %v), single-node (%v, %v)",
+					tcl.ids[ni], p[0], p[1], got.Reachable, got.Cost, want.Reachable, want.Cost)
+			}
+		}
+	}
+}
+
+// TestClusterForwardedLoopGuard: a request already marked forwarded is
+// applied locally and not fanned out again — no acks, no loops.
+func TestClusterForwardedLoopGuard(t *testing.T) {
+	tcl := newTestCluster(t, 6, 6, 4, 2, nil)
+	body, _ := json.Marshal(V1UpdateRequest{Ops: []V1UpdateOp{{Op: "insert", Fragment: 0, From: 0, To: 1, Weight: 9}}})
+	req, _ := http.NewRequest(http.MethodPost, tcl.https[0].URL+"/v1/update", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ur V1UpdateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ur); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(ur.Cluster) != 0 {
+		t.Fatalf("forwarded update: status %d, acks %+v (want 200 and none)", resp.StatusCode, ur.Cluster)
+	}
+	if got := tcl.servers[0].Dataset().Epoch(); got != 1 {
+		t.Errorf("forwarded update left node a at epoch %d, want 1", got)
+	}
+	if got := tcl.servers[1].Dataset().Epoch(); got != 0 {
+		t.Errorf("forwarded update leaked to node b (epoch %d, want 0)", got)
+	}
+}
+
+// TestV1LegEndpoint covers the peer endpoint's contract directly: a
+// servable epoch answers facts, an unservable one answers 409
+// epoch_skew, and malformed requests get typed 4xx refusals.
+func TestV1LegEndpoint(t *testing.T) {
+	tcl := newTestCluster(t, 6, 6, 4, 2, nil)
+	url := tcl.https[0].URL + "/v1/leg"
+
+	var leg cluster.LegResponse
+	status := postV1(t, url, cluster.NewLegRequest(0, []graph.NodeID{0}, "dijkstra", 0), &leg)
+	if status != http.StatusOK {
+		t.Fatalf("/v1/leg at current epoch: status %d", status)
+	}
+	if leg.Epoch != 0 || len(leg.Src) == 0 {
+		t.Errorf("/v1/leg answered epoch %d with %d facts", leg.Epoch, len(leg.Src))
+	}
+	if len(leg.Src) != len(leg.Dst) || len(leg.Src) != len(leg.Cost) {
+		t.Errorf("/v1/leg columns of unequal length: %d/%d/%d", len(leg.Src), len(leg.Dst), len(leg.Cost))
+	}
+
+	var ve V1Error
+	status = postV1(t, url, cluster.NewLegRequest(0, []graph.NodeID{0}, "dijkstra", 99), &ve)
+	if status != http.StatusConflict || ve.Code != "epoch_skew" {
+		t.Errorf("/v1/leg at future epoch: status %d code %q, want 409 epoch_skew", status, ve.Code)
+	}
+
+	status = postV1(t, url, cluster.NewLegRequest(0, nil, "warp", 0), &ve)
+	if status != http.StatusBadRequest || ve.Code != "unknown_engine" {
+		t.Errorf("/v1/leg bad engine: status %d code %q, want 400 unknown_engine", status, ve.Code)
+	}
+
+	status = postV1(t, url, cluster.NewLegRequest(77, []graph.NodeID{0}, "dijkstra", 0), &ve)
+	if status != http.StatusNotFound || ve.Code != "unknown_site" {
+		t.Errorf("/v1/leg bad site: status %d code %q, want 404 unknown_site", status, ve.Code)
+	}
+
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("/v1/leg malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// faultTransport stands in for a peer with one scripted behaviour.
+type faultTransport struct {
+	err error                                          // non-nil: every RPC fails with it
+	leg func(*cluster.LegRequest) *cluster.LegResponse // non-nil: scripted 200
+}
+
+func (f *faultTransport) ExecuteLeg(ctx context.Context, req *cluster.LegRequest) (*cluster.LegResponse, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.leg(req), nil
+}
+
+func (f *faultTransport) ForwardUpdate(ctx context.Context, req *cluster.UpdateRequest) (*cluster.UpdateAck, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return &cluster.UpdateAck{}, nil
+}
+
+// emptyLeg is a syntactically valid scripted leg response.
+func emptyLeg(epoch uint64) *cluster.LegResponse {
+	return cluster.NewLegResponse(epoch, false, relation.New("src", "dst", "cost"), tc.Stats{})
+}
+
+// TestClusterFailureTaxonomy: each distinct peer failure surfaces as
+// its own typed tcq error through the whole stack — the library error
+// satisfies errors.Is, and the HTTP surface answers the matching
+// status and stable code.
+func TestClusterFailureTaxonomy(t *testing.T) {
+	cases := []struct {
+		name       string
+		transport  *faultTransport
+		sentinel   error
+		wantStatus int
+		wantCode   string
+	}{
+		{"peer down", &faultTransport{err: fmt.Errorf("dial: %w", cluster.ErrPeerDown)},
+			tcq.ErrPeerDown, http.StatusBadGateway, "peer_down"},
+		{"peer timeout", &faultTransport{err: fmt.Errorf("deadline: %w", cluster.ErrPeerTimeout)},
+			tcq.ErrPeerTimeout, http.StatusGatewayTimeout, "peer_timeout"},
+		{"epoch skew", &faultTransport{leg: func(r *cluster.LegRequest) *cluster.LegResponse { return emptyLeg(r.Epoch + 5) }},
+			tcq.ErrEpochSkew, http.StatusConflict, "epoch_skew"},
+		{"malformed leg", &faultTransport{leg: func(r *cluster.LegRequest) *cluster.LegResponse {
+			bad := emptyLeg(r.Epoch)
+			bad.Src = []int64{1} // columns now unequal
+			return bad
+		}}, tcq.ErrBadPeerResponse, http.StatusBadGateway, "bad_peer_response"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			tcl := newTestCluster(t, 8, 8, 8, 2, func(i int, cfg *cluster.Config) {
+				cfg.NewTransport = func(cluster.Node) cluster.Transport { return tt.transport }
+			})
+			srv := tcl.servers[0]
+			// Corner to corner crosses every fragment, so some leg lands
+			// on the faulty peer whatever the ring dealt.
+			_, _, err := srv.Query(0, 63, dsa.EngineDijkstra)
+			if !errors.Is(err, tt.sentinel) {
+				t.Fatalf("library error %v, want %v", err, tt.sentinel)
+			}
+			var ve V1Error
+			status := postV1(t, tcl.https[0].URL+"/v1/query",
+				V1Request{Sources: []int{0}, Targets: []int{63}, Mode: "cost", Engine: "dijkstra"}, &ve)
+			if status != tt.wantStatus || ve.Code != tt.wantCode {
+				t.Errorf("HTTP surface: status %d code %q, want %d %q", status, ve.Code, tt.wantStatus, tt.wantCode)
+			}
+		})
+	}
+}
+
+// TestClusterConcurrentQueriesAndFanOut is the cluster race test:
+// queries from every coordinator interleave with /v1/update fan-outs
+// while the epoch history keeps superseded generations servable. A
+// reader overtaken by more than the history depth may see a typed
+// ErrEpochSkew; anything else is a bug, and most reads must succeed.
+// Run with -race (CI always does).
+func TestClusterConcurrentQueriesAndFanOut(t *testing.T) {
+	tcl := newTestCluster(t, 6, 6, 4, 3, nil)
+	const readers = 3
+	const iters = 20
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+
+	for ni := range tcl.servers {
+		wg.Add(1)
+		go func(ni int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(ni)))
+			for i := 0; i < iters; i++ {
+				src := graph.NodeID(rng.Intn(36))
+				dst := graph.NodeID(rng.Intn(36))
+				_, _, err := tcl.servers[ni].Query(src, dst, dsa.EngineDijkstra)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, tcq.ErrEpochSkew):
+					// Tolerated: the writer lapped this reader's pinned epoch.
+				default:
+					t.Errorf("node %s reader: %v", tcl.ids[ni], err)
+					return
+				}
+			}
+		}(ni)
+	}
+
+	// One writer fanning updates out through the real HTTP path. The
+	// deployment model is single-writer, so these are sequential.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			op := V1UpdateOp{Op: "insert", Fragment: 1, From: 9, To: 10, Weight: 1e9}
+			if i%2 == 1 {
+				op.Op = "delete"
+			}
+			var ur V1UpdateResponse
+			status := postV1(t, tcl.https[0].URL+"/v1/update", V1UpdateRequest{Ops: []V1UpdateOp{op}}, &ur)
+			if status != http.StatusOK {
+				t.Errorf("writer: /v1/update %d: status %d", i, status)
+				return
+			}
+			if len(ur.Cluster) != 2 {
+				t.Errorf("writer: update %d acked by %d peers, want 2", i, len(ur.Cluster))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Error("no cluster read succeeded while updates fanned out")
+	}
+	for ni, srv := range tcl.servers {
+		if got := srv.Dataset().Epoch(); got != 8 {
+			t.Errorf("node %s finished at epoch %d, want 8", tcl.ids[ni], got)
+		}
+	}
+	_ = readers
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/pkg/tcq"
 )
@@ -90,6 +91,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", m.instrument("/v1/query", s.handleV1Query))
 	mux.HandleFunc("POST /v1/batch", m.instrument("/v1/batch", s.handleV1Batch))
 	mux.HandleFunc("POST /v1/update", m.instrument("/v1/update", s.handleV1Update))
+	mux.HandleFunc("POST /v1/leg", m.instrument("/v1/leg", s.handleV1Leg))
 	mux.HandleFunc("GET /query", m.instrument("/query", s.handleQuery))
 	mux.HandleFunc("GET /connected", m.instrument("/connected", s.handleConnected))
 	mux.HandleFunc("POST /update", m.instrument("/update", s.handleUpdate))
@@ -268,6 +270,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	epoch := s.ds.Epoch()
+	// The legacy shim keeps clusters coherent too: fan the single-op
+	// transaction out to every peer (unless this IS a peer's fan-out).
+	if _, ferr := s.fanOutUpdate(r, []cluster.UpdateOp{{Op: req.Op, Fragment: req.Fragment, From: req.From, To: req.To, Weight: e.Weight}}, epoch); ferr != nil {
+		writeV1Error(w, ferr)
+		return
+	}
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		Op:             req.Op,
 		Epoch:          epoch,

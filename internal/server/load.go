@@ -25,6 +25,15 @@ import (
 type LoadConfig struct {
 	// BaseURL locates the server, e.g. "http://127.0.0.1:8642".
 	BaseURL string
+	// BaseURLs, when set, targets a multi-node cluster: read queries
+	// round-robin across the addresses by request index (every node is
+	// a full coordinator, so any of them answers any query), while
+	// writes, /stats differencing and the /metrics scrape pin to the
+	// first address — writes because the fan-out keeps peers coherent
+	// from one entry point, stats because cache deltas are per-node
+	// counters that only difference cleanly against one node.
+	// Overrides BaseURL.
+	BaseURLs []string
 	// Requests is the number of queries per pass (ignored when Pairs is
 	// set: then every pair is fired once per pass).
 	Requests int
@@ -173,9 +182,15 @@ type answer struct {
 // latency percentiles, correctness counters and the server's cache
 // delta.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("server: load: BaseURL required")
+	bases := cfg.BaseURLs
+	if len(bases) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("server: load: BaseURL required")
+		}
+		bases = []string{cfg.BaseURL}
 	}
+	// primary is the pinned node: writes, stats differencing, metrics.
+	primary := bases[0]
 	if cfg.Parallel < 1 {
 		cfg.Parallel = 1
 	}
@@ -226,7 +241,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	client := &http.Client{Timeout: cfg.Timeout}
-	statsBefore, err := fetchStats(client, cfg.BaseURL)
+	statsBefore, err := fetchStats(client, primary)
 	if err != nil {
 		return nil, fmt.Errorf("server: load: /stats before run: %v", err)
 	}
@@ -276,7 +291,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 							frag, from, to = we[0], we[1], we[2]
 						}
 						t0 := time.Now()
-						err := fireUpdate(client, cfg, frag, from, to)
+						err := fireUpdate(client, primary, frag, from, to)
 						localWrites = append(localWrites, time.Since(t0))
 						writesN.Add(1)
 						if err != nil {
@@ -286,7 +301,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 						continue
 					}
 					t0 := time.Now()
-					ans, err := fire(client, cfg, p[0], p[1])
+					ans, err := fire(client, cfg, bases[i%len(bases)], p[0], p[1])
 					local = append(local, time.Since(t0))
 					if err != nil {
 						errorsN.Add(1)
@@ -345,7 +360,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.WriteP95 = percentile(writeLats, 0.95)
 	rep.WriteP99 = percentile(writeLats, 0.99)
 
-	statsAfter, err := fetchStats(client, cfg.BaseURL)
+	statsAfter, err := fetchStats(client, primary)
 	if err != nil {
 		return nil, fmt.Errorf("server: load: /stats after run: %v", err)
 	}
@@ -358,7 +373,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	// Scrape the server's Prometheus surface into the report: the
 	// server-side counters beside the client-side latencies, and the CI
 	// assertion that the exposition format stays parseable.
-	m, err := fetchMetrics(client, cfg.BaseURL)
+	m, err := fetchMetrics(client, primary)
 	if err != nil {
 		return nil, fmt.Errorf("server: load: /metrics after run: %v", err)
 	}
@@ -369,7 +384,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 // fireUpdate sends one write transaction over POST /v1/update: insert
 // a heavy (answer-invariant) shortcut edge into the fragment and
 // delete it again in the same atomic batch.
-func fireUpdate(client *http.Client, cfg LoadConfig, frag, src, dst int) error {
+func fireUpdate(client *http.Client, baseURL string, frag, src, dst int) error {
 	const heavy = 1e9
 	body, err := json.Marshal(V1UpdateRequest{Ops: []V1UpdateOp{
 		{Op: "insert", Fragment: frag, From: src, To: dst, Weight: heavy},
@@ -378,7 +393,7 @@ func fireUpdate(client *http.Client, cfg LoadConfig, frag, src, dst int) error {
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(cfg.BaseURL+"/v1/update", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(baseURL+"/v1/update", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -402,9 +417,9 @@ func fireUpdate(client *http.Client, cfg LoadConfig, frag, src, dst int) error {
 
 // fire sends one query over the configured API surface and extracts
 // the comparable answer.
-func fire(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
+func fire(client *http.Client, cfg LoadConfig, baseURL string, src, dst int) (answer, error) {
 	if cfg.API == "v1" {
-		return fireV1(client, cfg, src, dst)
+		return fireV1(client, cfg, baseURL, src, dst)
 	}
 	q := url.Values{}
 	q.Set("src", fmt.Sprint(src))
@@ -416,7 +431,7 @@ func fire(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
 	if cfg.Mode == "connected" {
 		endpoint = "/connected"
 	}
-	resp, err := client.Get(cfg.BaseURL + endpoint + "?" + q.Encode())
+	resp, err := client.Get(baseURL + endpoint + "?" + q.Encode())
 	if err != nil {
 		return answer{}, err
 	}
@@ -448,7 +463,7 @@ func fire(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
 }
 
 // fireV1 sends one query as a facade request over POST /v1/query.
-func fireV1(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
+func fireV1(client *http.Client, cfg LoadConfig, baseURL string, src, dst int) (answer, error) {
 	mode := "cost"
 	if cfg.Mode == "connected" {
 		mode = "connectivity"
@@ -462,7 +477,7 @@ func fireV1(client *http.Client, cfg LoadConfig, src, dst int) (answer, error) {
 	if err != nil {
 		return answer{}, err
 	}
-	resp, err := client.Post(cfg.BaseURL+"/v1/query", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(baseURL+"/v1/query", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return answer{}, err
 	}

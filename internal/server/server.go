@@ -27,8 +27,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dsa"
 	"repro/internal/graph"
+	"repro/internal/relation"
+	"repro/internal/tc"
 	"repro/pkg/tcq"
 )
 
@@ -44,6 +47,11 @@ type Config struct {
 	// SiteWorkers is the number of worker goroutines per site (default
 	// 1: each site serialises its legs like a single-processor site).
 	SiteWorkers int
+	// Cluster enables multi-node scatter-gather: legs of sites the
+	// coordinator assigns to peers execute remotely over its transport,
+	// and /v1/update transactions fan out to every peer with a coherent
+	// epoch swap. nil (the default) keeps every site local.
+	Cluster *cluster.Coordinator
 }
 
 // Server is a live deployment: a dataset, its worker pools and the
@@ -57,6 +65,8 @@ type Server struct {
 	unsubscribe func()
 	start       time.Time
 	metrics     *serverMetrics
+	cluster     *cluster.Coordinator
+	history     *snapHistory
 
 	queries    atomic.Uint64
 	connected  atomic.Uint64
@@ -103,8 +113,14 @@ func NewDataset(ds *tcq.Dataset, cfg Config) (*Server, error) {
 		start:      time.Now(),
 		siteLegs:   make([]atomic.Uint64, n),
 		siteBusyNS: make([]atomic.Int64, n),
+		cluster:    cfg.Cluster,
+		history:    newSnapHistory(epochHistoryDepth),
 	}
+	s.history.add(ds.Snapshot())
 	s.metrics = newServerMetrics(s)
+	if s.cluster != nil {
+		s.cluster.Register(s.metrics.reg)
+	}
 	// The server is the facade's runner: every tcq query — the /v1 API,
 	// or a library caller holding Facade() — executes through the
 	// pooled, leg-cached path below.
@@ -118,6 +134,10 @@ func NewDataset(ds *tcq.Dataset, cfg Config) (*Server, error) {
 	// shared sites are retagged to the new epoch and keep serving.
 	s.unsubscribe = ds.OnApply(func(r tcq.ApplyResult) {
 		s.cache.invalidate(r.Stats.SitesRebuilt, r.Epoch)
+		// Retain the new generation for peers still gathering legs at
+		// recent epochs (the callback runs under the writer gate, so
+		// Snapshot() is exactly the generation r announces).
+		s.history.add(s.ds.Snapshot())
 		s.updates.Add(1)
 		s.metrics.observeApply(r)
 	})
@@ -263,17 +283,60 @@ func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target 
 		return res, QueryStats{}, nil
 	}
 
-	// Phase 1: every leg becomes one task on its site's persistent
-	// worker queue; the cache intercepts the (site, entry, engine)
-	// computation and the exit selection specialises it per leg.
+	// Phase 1: every locally owned leg becomes one task on its site's
+	// persistent worker queue; the cache intercepts the (site, entry,
+	// engine) computation and the exit selection specialises it per
+	// leg. In cluster deployments, legs of remotely owned sites are
+	// shipped to their owners instead (scatter), each on its own
+	// goroutine — they are I/O-bound waits, and the owner serialises
+	// the actual work on ITS site pool. Both kinds land in the same
+	// results slice, so the assembly phase (gather) is oblivious to
+	// where a leg ran.
 	epoch := snap.Epoch()
 	results := make([]*dsa.LegResult, len(plan.Legs))
 	errs := make([]error, len(plan.Legs))
 	var hits, misses atomic.Int64
 	var wg sync.WaitGroup
+	finishLeg := func(i int, leg dsa.Leg, t0 time.Time, full *relation.Relation, stats tc.Stats, hit bool) {
+		if hit {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+		filtered, filterErr := dsa.FilterLegFacts(full, leg)
+		if filterErr != nil {
+			errs[i] = filterErr
+			return
+		}
+		stats.ResultTuples = filtered.Len()
+		took := time.Since(t0)
+		results[i] = &dsa.LegResult{Leg: leg, Rel: filtered, Stats: stats, Took: took}
+		s.siteLegs[leg.SiteID].Add(1)
+		s.siteBusyNS[leg.SiteID].Add(int64(took))
+	}
 	for i := range plan.Legs {
 		leg := plan.Legs[i]
 		wg.Add(1)
+		if s.cluster != nil && !s.cluster.IsLocal(leg.SiteID) {
+			go func() {
+				defer wg.Done()
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("server: %w (%w)", dsa.ErrCanceled, context.Cause(ctx))
+					return
+				}
+				t0 := time.Now()
+				full, stats, hit, err := s.cluster.ExecuteLeg(ctx, leg.SiteID, leg.Entry, engine.String(), epoch)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				// hit reports the OWNER's cache verdict — remote hits
+				// count as hits here so the hit rate reflects work
+				// actually saved cluster-wide.
+				finishLeg(i, leg, t0, full, stats, hit)
+			}()
+			continue
+		}
 		s.pools.submit(leg.SiteID, func() {
 			defer wg.Done()
 			// A canceled query's queued legs become no-ops instead of
@@ -283,30 +346,15 @@ func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target 
 				return
 			}
 			t0 := time.Now()
-			key := legKey(leg.SiteID, leg.Entry, engine)
-			full, stats, ok := s.cache.get(key, epoch)
-			if ok {
-				hits.Add(1)
-			} else {
-				misses.Add(1)
-				var execErr error
-				full, stats, execErr = st.ExecuteLegFullCtx(ctx, leg.SiteID, leg.Entry, engine)
-				if execErr != nil {
-					errs[i] = execErr
-					return
-				}
-				s.cache.put(key, leg.SiteID, epoch, full, stats)
-			}
-			filtered, filterErr := dsa.FilterLegFacts(full, leg)
-			if filterErr != nil {
-				errs[i] = filterErr
+			full, stats, hit, execErr := s.executeLegLocal(ctx, snap, leg.SiteID, leg.Entry, engine)
+			if execErr != nil {
+				errs[i] = execErr
 				return
 			}
-			stats.ResultTuples = filtered.Len()
-			took := time.Since(t0)
-			results[i] = &dsa.LegResult{Leg: leg, Rel: filtered, Stats: stats, Took: took}
-			s.siteLegs[leg.SiteID].Add(1)
-			s.siteBusyNS[leg.SiteID].Add(int64(took))
+			if s.cluster != nil {
+				s.cluster.LocalLeg()
+			}
+			finishLeg(i, leg, t0, full, stats, hit)
 		})
 	}
 	wg.Wait()
@@ -324,6 +372,25 @@ func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target 
 	}
 	res.Elapsed = time.Since(start)
 	return res, qs, nil
+}
+
+// executeLegLocal runs the memoizable half of one leg on this node:
+// cache lookup keyed (site, entry, engine) at the snapshot's epoch,
+// kernel execution on miss. It is shared by the pooled executor and
+// the /v1/leg peer endpoint, so remote and local traffic for a site
+// fill and hit the same cache entries.
+func (s *Server) executeLegLocal(ctx context.Context, snap *tcq.Snapshot, siteID int, entry []graph.NodeID, engine dsa.Engine) (*relation.Relation, tc.Stats, bool, error) {
+	epoch := snap.Epoch()
+	key := legKey(siteID, entry, engine)
+	if full, stats, ok := s.cache.get(key, epoch); ok {
+		return full, stats, true, nil
+	}
+	full, stats, err := snap.Store().ExecuteLegFullCtx(ctx, siteID, entry, engine)
+	if err != nil {
+		return nil, tc.Stats{}, false, err
+	}
+	s.cache.put(key, siteID, epoch, full, stats)
+	return full, stats, false, nil
 }
 
 // ApplyBatch applies a transactional batch of edge operations through
@@ -394,6 +461,11 @@ type Stats struct {
 	Cache CacheStats  `json:"cache"`
 	Site  []SiteStats `json:"sites_work"`
 
+	// Cluster describes this node's view of the multi-node deployment:
+	// its identity, the membership and the site→node routing table.
+	// Absent on single-node deployments.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+
 	// Metrics is the flattened sample snapshot of the Prometheus
 	// registry (name{labels} -> value) — the same numbers GET /metrics
 	// exposes, embedded so /stats consumers need no second scrape.
@@ -423,6 +495,7 @@ func (s *Server) Stats() Stats {
 	for i := range s.siteLegs {
 		st.Site[i] = SiteStats{Legs: s.siteLegs[i].Load(), BusyNS: s.siteBusyNS[i].Load()}
 	}
+	st.Cluster = s.clusterStats(ss.Sites)
 	st.Metrics = s.metrics.reg.Snapshot()
 	return st
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/pkg/tcq"
 )
 
@@ -81,6 +82,16 @@ type V1Explain struct {
 	Reason    string `json:"reason"`
 	EntrySize int    `json:"entry_size"`
 	Pairs     int    `json:"pairs"`
+	// Placement maps each involved site to the cluster node that owned
+	// its legs; present only on multi-node deployments.
+	Placement []V1SitePlacement `json:"placement,omitempty"`
+}
+
+// V1SitePlacement is one site→node ownership entry of a clustered
+// explain.
+type V1SitePlacement struct {
+	Site int    `json:"site"`
+	Node string `json:"node"`
 }
 
 // V1Answer is one (source, target) pair answer on the wire.
@@ -177,6 +188,11 @@ type V1UpdateResponse struct {
 	// recompute.
 	LocalOnly bool  `json:"local_only"`
 	ElapsedUS int64 `json:"elapsed_us"`
+	// Cluster lists the peer acknowledgements of the epoch fan-out —
+	// present only when this node coordinated a clustered update. Every
+	// ack carries the same epoch as Epoch above (a diverging peer makes
+	// the whole request fail with epoch_skew instead).
+	Cluster []cluster.PeerAck `json:"cluster,omitempty"`
 }
 
 // V1OpError is one refused op of a /v1/update transaction.
@@ -229,6 +245,14 @@ func errorCode(err error) (int, string) {
 		// 499 is the de-facto "client closed request" status; by the
 		// time it is written the client is usually gone anyway.
 		return 499, "canceled"
+	case errors.Is(err, tcq.ErrEpochSkew):
+		return http.StatusConflict, "epoch_skew"
+	case errors.Is(err, tcq.ErrPeerTimeout):
+		return http.StatusGatewayTimeout, "peer_timeout"
+	case errors.Is(err, tcq.ErrPeerDown):
+		return http.StatusBadGateway, "peer_down"
+	case errors.Is(err, tcq.ErrBadPeerResponse):
+		return http.StatusBadGateway, "bad_peer_response"
 	}
 	return http.StatusInternalServerError, "internal"
 }
@@ -256,6 +280,9 @@ func v1ResponseFrom(res *tcq.Result) *V1QueryResponse {
 		CacheHits:   res.CacheHits,
 		CacheMisses: res.CacheMisses,
 		ElapsedUS:   res.Elapsed.Microseconds(),
+	}
+	for _, p := range res.Explain.Placement {
+		out.Explain.Placement = append(out.Explain.Placement, V1SitePlacement{Site: p.Site, Node: p.Node})
 	}
 	costMode := res.Explain.Mode != tcq.ModeConnectivity
 	for _, a := range res.Answers {
@@ -339,21 +366,19 @@ func (s *Server) handleV1Update(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.ApplyBatch(r.Context(), &b)
 	if err != nil {
-		var be *tcq.BatchError
-		if errors.As(err, &be) {
-			// Atomic refusal: per-op typed codes, worst status wins.
-			status := http.StatusBadRequest
-			ops := make([]V1OpError, 0, len(be.Ops))
-			for _, oe := range be.Ops {
-				st, code := errorCode(oe.Err)
-				if st > status {
-					status = st
-				}
-				ops = append(ops, V1OpError{Index: oe.Index, Code: code, Error: oe.Err.Error()})
-			}
-			writeJSON(w, status, V1UpdateError{Error: err.Error(), Code: "batch_refused", Ops: ops})
-			return
-		}
+		writeV1UpdateError(w, err)
+		return
+	}
+	// Clustered deployments fan the transaction out to every peer and
+	// verify the coherent epoch swap before acking the client; a peer
+	// failure or diverging epoch surfaces as a typed error (the local
+	// apply stands — retrying the transaction converges the cluster).
+	ops := make([]cluster.UpdateOp, len(body.Ops))
+	for i, op := range body.Ops {
+		ops[i] = cluster.UpdateOp{Op: op.Op, Fragment: op.Fragment, From: op.From, To: op.To, Weight: op.Weight}
+	}
+	acks, err := s.fanOutUpdate(r, ops, res.Epoch)
+	if err != nil {
 		writeV1Error(w, err)
 		return
 	}
@@ -366,7 +391,29 @@ func (s *Server) handleV1Update(w http.ResponseWriter, r *http.Request) {
 		SharedFragments:  res.Stats.SitesShared,
 		LocalOnly:        res.Stats.LocalOnly,
 		ElapsedUS:        time.Since(start).Microseconds(),
+		Cluster:          acks,
 	})
+}
+
+// writeV1UpdateError renders an Apply failure: atomic batch refusals
+// carry per-op typed codes (worst status wins), everything else is the
+// plain typed envelope.
+func writeV1UpdateError(w http.ResponseWriter, err error) {
+	var be *tcq.BatchError
+	if errors.As(err, &be) {
+		status := http.StatusBadRequest
+		ops := make([]V1OpError, 0, len(be.Ops))
+		for _, oe := range be.Ops {
+			st, code := errorCode(oe.Err)
+			if st > status {
+				status = st
+			}
+			ops = append(ops, V1OpError{Index: oe.Index, Code: code, Error: oe.Err.Error()})
+		}
+		writeJSON(w, status, V1UpdateError{Error: err.Error(), Code: "batch_refused", Ops: ops})
+		return
+	}
+	writeV1Error(w, err)
 }
 
 // handleV1Batch serves POST /v1/batch: every request of the body is

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/dsa"
 )
 
@@ -62,6 +63,26 @@ var (
 	// context's own error, so errors.Is(err, context.Canceled) keeps
 	// working.
 	ErrCanceled = dsa.ErrCanceled
+
+	// ErrPeerDown reports an unreachable cluster peer: a query whose
+	// site route includes a remotely owned fragment, or an update
+	// fan-out, could not reach the owning node at all.
+	ErrPeerDown = cluster.ErrPeerDown
+	// ErrPeerTimeout reports a cluster peer that accepted the RPC but
+	// did not answer within the per-RPC deadline.
+	ErrPeerTimeout = cluster.ErrPeerTimeout
+	// ErrEpochSkew reports an epoch-coherence violation between cluster
+	// nodes: a remote leg could not be served at the generation the
+	// query pinned, or an update fan-out left peers on diverging
+	// epochs. Cross-node reads fail with this typed error instead of
+	// silently mixing generations; retrying after the cluster
+	// converges (or re-applying the update) clears it.
+	ErrEpochSkew = cluster.ErrEpochSkew
+	// ErrBadPeerResponse reports a cluster peer answering outside the
+	// transport protocol (undecodable body, mismatched fact columns, an
+	// unknown error code) — a version or configuration mismatch between
+	// nodes.
+	ErrBadPeerResponse = cluster.ErrBadPeerResponse
 )
 
 // canceledErr wraps a context error as an ErrCanceled, the same

@@ -89,6 +89,28 @@ type Explain struct {
 	// Pairs is the number of (source, target) pairs the request spans
 	// before any Limit.
 	Pairs int
+	// Placement maps each site the answers touched to the cluster node
+	// that owns (and executed) its legs. It is populated only when the
+	// runner executes across a multi-node cluster (the serving layer's
+	// executor implements PlacementReporter); single-process runners
+	// leave it nil. Sites ascending.
+	Placement []SitePlacement
+}
+
+// SitePlacement records which cluster node owns one site's legs.
+type SitePlacement struct {
+	// Site is the fragment/site ID.
+	Site int `json:"site"`
+	// Node is the owning node's ID.
+	Node string `json:"node"`
+}
+
+// PlacementReporter is implemented by runners that execute legs across
+// a multi-node cluster: given the sites a result touched, it reports
+// which node owns each. The facade uses it to fill Explain.Placement
+// on materialised results.
+type PlacementReporter interface {
+	Placement(sites []int) []SitePlacement
 }
 
 // Canonical renders the plan as a stable "mode/engine" string — the

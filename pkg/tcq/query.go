@@ -2,6 +2,7 @@ package tcq
 
 import (
 	"context"
+	"sort"
 	"time"
 
 	"repro/internal/dsa"
@@ -119,8 +120,27 @@ func queryOn(ctx context.Context, snap *Snapshot, runner Runner, req Request) (*
 	}
 	res.LimitHit = rs.limitHit
 	res.CacheHits, res.CacheMisses = rs.cacheHits, rs.cacheMisses
+	if pr, ok := runner.(PlacementReporter); ok {
+		res.Explain.Placement = pr.Placement(involvedSites(res.Answers))
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// involvedSites returns the sorted union of sites the answers touched.
+func involvedSites(answers []Answer) []int {
+	seen := map[int]bool{}
+	for _, a := range answers {
+		for site := range a.PerSite {
+			seen[site] = true
+		}
+	}
+	sites := make([]int, 0, len(seen))
+	for site := range seen {
+		sites = append(sites, site)
+	}
+	sort.Ints(sites)
+	return sites
 }
 
 // BatchResult pairs one batch entry's result with its error — batch
