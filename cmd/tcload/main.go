@@ -68,6 +68,7 @@ func main() {
 		sloWriteP  = flag.Duration("slo-write-p99", 0, "write p99 budget (overrides the file's write_p99_ms; 0 = unset)")
 		sloErrRate = flag.Float64("slo-error-rate", -1, "error-rate budget, errors/requests (overrides the file's error_rate; -1 = unset)")
 		jsonOut    = flag.String("json", "", "write the machine-readable run report (latencies, SLO verdict, /metrics scrape) to this path ('-' = stdout)")
+		retryTrans = flag.Int("retry-transient", 0, "re-fire a read query up to N extra times after a transient 502/504 gateway blip (writes are never retried); retry counts land in the -json report")
 	)
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func main() {
 		Duration:        *duration,
 		ExpectReachable: *expectUp,
 		WriteRate:       *writeRate,
+		RetryTransient:  *retryTrans,
 	}
 	if *pairsFile != "" {
 		pairs, err := readPairs(*pairsFile)

@@ -70,6 +70,13 @@ func main() {
 		nodeID    = flag.String("node-id", "", "this node's ID in a multi-node cluster (requires -peers)")
 		peers     = flag.String("peers", "", "static cluster membership as id=url pairs, e.g. a=http://h1:8642,b=http://h2:8642 (this node included)")
 		rpcTO     = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline for cluster peer calls")
+
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive transport failures before a peer's circuit breaker opens")
+		brkInterval  = flag.Duration("breaker-open-interval", 2*time.Second, "how long an open breaker refuses a peer before probing it again")
+		brkProbes    = flag.Int("breaker-probes", 1, "concurrent probe RPCs allowed while a breaker is half-open")
+		legRetries   = flag.Int("leg-retries", 2, "extra attempts for an idempotent leg read after a transport failure (0 disables retries)")
+		retryBackoff = flag.Duration("retry-backoff", 25*time.Millisecond, "base backoff between leg retries (doubles per retry, full jitter)")
+		faultScript  = flag.String("fault-script", "", "deterministic per-peer fault injection, e.g. 'b:down*8,ok;c:timeout*2,ok*' (testing only)")
 	)
 	flag.Parse()
 
@@ -97,7 +104,17 @@ func main() {
 		time.Since(buildStart).Round(time.Millisecond), snap.Stats().Sites,
 		prep.DisconnectionSets, prep.PairsStored, snap.Stats().LooselyConnected)
 
-	coord, err := buildCluster(*nodeID, *peers, *rpcTO, snap.Stats().Sites)
+	coord, err := buildCluster(clusterFlags{
+		nodeID:       *nodeID,
+		peers:        *peers,
+		rpcTimeout:   *rpcTO,
+		brkThreshold: *brkThreshold,
+		brkInterval:  *brkInterval,
+		brkProbes:    *brkProbes,
+		legRetries:   *legRetries,
+		retryBackoff: *retryBackoff,
+		faultScript:  *faultScript,
+	}, snap.Stats().Sites)
 	if err != nil {
 		fatal(err)
 	}
@@ -194,30 +211,70 @@ func loadFragmentation(graphFile, fragFile, grid string, frags int, diag float64
 	}
 }
 
+// clusterFlags carries the resolved -node-id/-peers flag group plus
+// the resilience knobs (breaker, retry, fault injection).
+type clusterFlags struct {
+	nodeID       string
+	peers        string
+	rpcTimeout   time.Duration
+	brkThreshold int
+	brkInterval  time.Duration
+	brkProbes    int
+	legRetries   int
+	retryBackoff time.Duration
+	faultScript  string
+}
+
 // buildCluster resolves the -node-id/-peers flags into a coordinator
 // (nil when the flags are unset: a single-node deployment) and logs
 // the site placement the consistent-hash ring derived — identical on
-// every member, so the log lines agree across the fleet.
-func buildCluster(nodeID, peers string, rpcTimeout time.Duration, sites int) (*cluster.Coordinator, error) {
-	if peers == "" && nodeID == "" {
+// every member, so the log lines agree across the fleet. A non-empty
+// -fault-script wraps each scripted peer's transport in a
+// deterministic fault injector (the chaos CI hook).
+func buildCluster(cf clusterFlags, sites int) (*cluster.Coordinator, error) {
+	if cf.peers == "" && cf.nodeID == "" {
 		return nil, nil
 	}
-	if peers == "" || nodeID == "" {
+	if cf.peers == "" || cf.nodeID == "" {
 		return nil, fmt.Errorf("cluster mode needs both -node-id and -peers")
 	}
-	nodes, err := cluster.ParsePeers(peers)
+	nodes, err := cluster.ParsePeers(cf.peers)
 	if err != nil {
 		return nil, err
 	}
-	coord, err := cluster.New(cluster.Config{NodeID: nodeID, Peers: nodes, Timeout: rpcTimeout})
+	cfg := cluster.Config{
+		NodeID:  cf.nodeID,
+		Peers:   nodes,
+		Timeout: cf.rpcTimeout,
+		Breaker: cluster.BreakerConfig{
+			FailureThreshold: cf.brkThreshold,
+			OpenInterval:     cf.brkInterval,
+			HalfOpenProbes:   cf.brkProbes,
+		},
+		Retry: cluster.RetryConfig{
+			Attempts:    cf.legRetries + 1,
+			BaseBackoff: cf.retryBackoff,
+		},
+	}
+	if cf.faultScript != "" {
+		script, err := cluster.ParseFaultScript(cf.faultScript)
+		if err != nil {
+			return nil, fmt.Errorf("-fault-script: %w", err)
+		}
+		cfg.NewTransport = func(n cluster.Node) cluster.Transport {
+			return cluster.NewFaultTransport(cluster.NewHTTPTransport(n, cf.rpcTimeout), n.ID, script)
+		}
+		fmt.Fprintf(os.Stderr, "tcserver: fault injection active: %s\n", cf.faultScript)
+	}
+	coord, err := cluster.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	placement := coord.Placement(sites)
-	fmt.Fprintf(os.Stderr, "tcserver: cluster node %q of %d nodes; site placement:\n", nodeID, len(nodes))
+	fmt.Fprintf(os.Stderr, "tcserver: cluster node %q of %d nodes; site placement:\n", cf.nodeID, len(nodes))
 	for _, n := range coord.Nodes() {
 		marker := ""
-		if n.ID == nodeID {
+		if n.ID == cf.nodeID {
 			marker = " (this node)"
 		}
 		fmt.Fprintf(os.Stderr, "tcserver:   %s -> sites %v%s\n", n.ID, placement[n.ID], marker)

@@ -21,6 +21,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 	"sort"
@@ -89,6 +90,17 @@ type Config struct {
 	VirtualNodes int
 	// Timeout bounds each peer RPC (default 5s).
 	Timeout time.Duration
+	// Breaker tunes the per-peer circuit breakers; zero fields take
+	// defaults (trip after 5 consecutive failures, 2s open interval,
+	// 1 half-open probe).
+	Breaker BreakerConfig
+	// Retry tunes leg-read retries; zero fields take defaults (3 total
+	// attempts, 25ms base backoff doubling to a 250ms cap, full jitter).
+	Retry RetryConfig
+	// Clock supplies the breakers' time source; nil selects time.Now.
+	// Tests inject a fake clock to drive open→half-open transitions
+	// without sleeping.
+	Clock func() time.Time
 	// NewTransport builds the transport for one peer; nil selects the
 	// HTTP/JSON transport. Tests inject in-process transports here.
 	NewTransport func(Node) Transport
@@ -103,6 +115,10 @@ type Coordinator struct {
 	ring       *ring
 	transports map[string]Transport // remote peers only
 	timeout    time.Duration
+	health     *health
+	retry      RetryConfig
+	jitter     func(time.Duration) time.Duration // tests pin this
+	sleep      func(context.Context, time.Duration) error
 	m          *clusterMetrics
 }
 
@@ -117,6 +133,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 5 * time.Second
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	nodes := append([]Node(nil), cfg.Peers...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 	c := &Coordinator{
@@ -124,6 +143,9 @@ func New(cfg Config) (*Coordinator, error) {
 		ring:       newRing(nodes, cfg.VirtualNodes),
 		transports: make(map[string]Transport),
 		timeout:    cfg.Timeout,
+		retry:      cfg.Retry.withDefaults(),
+		jitter:     fullJitter,
+		sleep:      sleepCtx,
 	}
 	selfIdx := -1
 	for i, n := range nodes {
@@ -147,6 +169,7 @@ func New(cfg Config) (*Coordinator, error) {
 			c.transports[n.ID] = newTransport(n)
 		}
 	}
+	c.health = newHealth(nodes, c.self.ID, cfg.Breaker, cfg.Clock)
 	return c, nil
 }
 
@@ -161,6 +184,22 @@ func (c *Coordinator) Owner(site int) Node { return c.nodes[c.ring.owner(site)] 
 
 // IsLocal reports whether this node owns site's legs.
 func (c *Coordinator) IsLocal(site int) bool { return c.Owner(site).ID == c.self.ID }
+
+// BreakerStates snapshots every remote peer's circuit-breaker state —
+// the /stats and /readyz health view.
+func (c *Coordinator) BreakerStates() map[string]string { return c.health.States() }
+
+// Degraded reports whether any peer's breaker is not closed — the
+// /readyz verdict: the node still answers correctly (legs fall back
+// locally) but is running without its full cluster.
+func (c *Coordinator) Degraded() bool {
+	for _, state := range c.health.States() {
+		if state != BreakerClosed.String() {
+			return true
+		}
+	}
+	return false
+}
 
 // Placement maps every site of [0, sites) to its owning node ID —
 // the routing table view served at /stats and logged at startup.

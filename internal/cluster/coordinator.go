@@ -33,12 +33,29 @@ type clusterMetrics struct {
 	// legFanout is tc_leg_fanout_total{peer}: legs shipped to each
 	// remote owner.
 	legFanout *metrics.CounterVec
+	// rpcSuccess is tc_peer_rpc_success_total{peer}: successful round
+	// trips by peer — the reconvergence signal the chaos gate watches
+	// after a restarted node's breaker closes.
+	rpcSuccess *metrics.CounterVec
 	// legsLocal is tc_legs_local_total: legs this node owned and
 	// executed in-process.
 	legsLocal *metrics.Counter
 	// updateFanout is tc_update_fanout_total{peer}: update transactions
 	// forwarded to each peer.
 	updateFanout *metrics.CounterVec
+	// legRetries is tc_cluster_leg_retries_total{peer}: leg RPC retry
+	// attempts beyond the first, by peer.
+	legRetries *metrics.CounterVec
+	// legFallback is tc_cluster_leg_fallback_total{peer}: remote-owned
+	// legs executed locally in degraded mode because their owner was
+	// unreachable, by owner.
+	legFallback *metrics.CounterVec
+	// breakerState is tc_peer_breaker_state{peer}: each peer breaker's
+	// current position (0 closed, 1 half-open, 2 open).
+	breakerState *metrics.GaugeVec
+	// breakerTransitions is tc_peer_breaker_transitions_total{peer,to}:
+	// breaker state changes, by peer and destination state.
+	breakerTransitions *metrics.CounterVec
 }
 
 // Register creates the coordinator's metric families in reg — called
@@ -52,11 +69,30 @@ func (c *Coordinator) Register(reg *metrics.Registry) {
 		"Failed peer RPCs, by peer and typed failure code.", "peer", "code")
 	m.legFanout = reg.CounterVec("tc_leg_fanout_total",
 		"Legs shipped to remote owners, by peer.", "peer")
+	m.rpcSuccess = reg.CounterVec("tc_peer_rpc_success_total",
+		"Successful peer RPC round trips, by peer.", "peer")
 	m.legsLocal = reg.Counter("tc_legs_local_total",
 		"Legs owned and executed by this node in-process.")
 	m.updateFanout = reg.CounterVec("tc_update_fanout_total",
 		"Update transactions forwarded to peers, by peer.", "peer")
+	m.legRetries = reg.CounterVec("tc_cluster_leg_retries_total",
+		"Leg RPC retry attempts beyond the first, by peer.", "peer")
+	m.legFallback = reg.CounterVec("tc_cluster_leg_fallback_total",
+		"Remote-owned legs executed locally in degraded mode, by owner.", "peer")
+	m.breakerState = reg.GaugeVec("tc_peer_breaker_state",
+		"Peer circuit-breaker state (0 closed, 1 half-open, 2 open).", "peer")
+	m.breakerTransitions = reg.CounterVec("tc_peer_breaker_transitions_total",
+		"Peer circuit-breaker state transitions, by peer and new state.", "peer", "to")
 	c.m = m
+	for _, n := range c.nodes {
+		if n.ID != c.self.ID {
+			m.breakerState.With(n.ID).Set(float64(BreakerClosed))
+		}
+	}
+	c.health.setOnChange(func(peer string, state BreakerState) {
+		m.breakerState.With(peer).Set(float64(state))
+		m.breakerTransitions.With(peer, state.String()).Inc()
+	})
 }
 
 // LocalLeg records one leg this node owned and ran in-process — the
@@ -67,20 +103,29 @@ func (c *Coordinator) LocalLeg() {
 	}
 }
 
-// observeRPC records one peer round trip.
+// observeRPC records one peer round trip: it always feeds the
+// breaker (health tracking runs even unobserved) and, when a registry
+// is wired, the per-peer metrics.
 func (c *Coordinator) observeRPC(peer, rpc string, took time.Duration, err error) {
+	c.health.Record(peer, err)
 	if c.m == nil {
 		return
 	}
 	c.m.rpcLatency.With(peer, rpc).Observe(took.Seconds())
 	if err != nil {
 		c.m.rpcErrors.With(peer, errCode(err)).Inc()
+	} else {
+		c.m.rpcSuccess.With(peer).Inc()
 	}
 }
 
-// errCode is the bounded label vocabulary of rpcErrors.
+// errCode is the bounded label vocabulary of rpcErrors. Breaker-open
+// refusals are checked first: they wrap ErrPeerDown for taxonomy
+// compatibility but deserve their own label.
 func errCode(err error) string {
 	switch {
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker_open"
 	case errors.Is(err, ErrPeerTimeout):
 		return "peer_timeout"
 	case errors.Is(err, ErrPeerDown):
@@ -93,37 +138,76 @@ func errCode(err error) string {
 	return "other"
 }
 
+// FallbackLeg records one remote-owned leg for site executed locally
+// in degraded mode — the serving layer calls this after a successful
+// local fallback so degradation is visible, never silent.
+func (c *Coordinator) FallbackLeg(site int) {
+	if c.m != nil {
+		c.m.legFallback.With(c.Owner(site).ID).Inc()
+	}
+}
+
 // ExecuteLeg ships one leg to the site's remote owner at the pinned
 // epoch and rebuilds the returned fact relation. The site must not be
 // local (the caller routes local sites through its own executor). A
 // peer answering from a different generation than it was asked for is
 // an ErrEpochSkew — the response echo is the coherence check.
+//
+// Legs are pure epoch-pinned reads, so transport failures (peer
+// down/timeout) are retried up to the configured attempt budget with
+// exponential backoff + full jitter, all inside the caller's ctx
+// deadline. The owner's circuit breaker gates every attempt: an open
+// breaker refuses immediately with an error that matches both
+// ErrBreakerOpen and ErrPeerDown, letting the serving layer fall back
+// to local execution without a new error path.
 func (c *Coordinator) ExecuteLeg(ctx context.Context, site int, entry []graph.NodeID, engine string, epoch uint64) (*relation.Relation, tc.Stats, bool, error) {
 	owner := c.Owner(site)
 	t := c.transports[owner.ID]
 	if t == nil {
 		return nil, tc.Stats{}, false, fmt.Errorf("cluster: site %d is owned locally by %s; remote execution is for remote owners", site, c.self.ID)
 	}
-	rpcCtx, cancel := context.WithTimeout(ctx, c.timeout)
-	defer cancel()
-	start := time.Now()
-	resp, err := t.ExecuteLeg(rpcCtx, NewLegRequest(site, entry, engine, epoch))
-	c.observeRPC(owner.ID, "leg", time.Since(start), err)
-	if err != nil {
-		return nil, tc.Stats{}, false, err
+	req := NewLegRequest(site, entry, engine, epoch)
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.Attempts; attempt++ {
+		if attempt > 1 {
+			if err := c.sleep(ctx, c.jitter(c.retry.backoff(attempt-1))); err != nil {
+				break // caller's deadline consumed the retry budget
+			}
+			if c.m != nil {
+				c.m.legRetries.With(owner.ID).Inc()
+			}
+		}
+		if !c.health.Allow(owner.ID) {
+			lastErr = fmt.Errorf("cluster: %w (%w): peer %s refusing leg for site %d until the open interval elapses",
+				ErrBreakerOpen, ErrPeerDown, owner.ID, site)
+			break // retrying against an open breaker is pointless
+		}
+		rpcCtx, cancel := context.WithTimeout(ctx, c.timeout)
+		start := time.Now()
+		resp, err := t.ExecuteLeg(rpcCtx, req)
+		cancel()
+		c.observeRPC(owner.ID, "leg", time.Since(start), err)
+		if err != nil {
+			lastErr = err
+			if !retryable(err) {
+				return nil, tc.Stats{}, false, err
+			}
+			continue
+		}
+		if resp.Epoch != epoch {
+			return nil, tc.Stats{}, false, fmt.Errorf("cluster: %w: peer %s answered leg for site %d at epoch %d, want %d",
+				ErrEpochSkew, owner.ID, site, resp.Epoch, epoch)
+		}
+		rel, stats, err := resp.Facts()
+		if err != nil {
+			return nil, tc.Stats{}, false, err
+		}
+		if c.m != nil {
+			c.m.legFanout.With(owner.ID).Inc()
+		}
+		return rel, stats, resp.CacheHit, nil
 	}
-	if resp.Epoch != epoch {
-		return nil, tc.Stats{}, false, fmt.Errorf("cluster: %w: peer %s answered leg for site %d at epoch %d, want %d",
-			ErrEpochSkew, owner.ID, site, resp.Epoch, epoch)
-	}
-	rel, stats, err := resp.Facts()
-	if err != nil {
-		return nil, tc.Stats{}, false, err
-	}
-	if c.m != nil {
-		c.m.legFanout.With(owner.ID).Inc()
-	}
-	return rel, stats, resp.CacheHit, nil
+	return nil, tc.Stats{}, false, lastErr
 }
 
 // PeerAck is one peer's acknowledgement of a fanned-out update.

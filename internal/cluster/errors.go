@@ -26,4 +26,20 @@ var (
 	// protocol: an undecodable body, mismatched fact columns, or an
 	// error envelope this node cannot interpret.
 	ErrBadPeerResponse = errors.New("bad cluster peer response")
+	// ErrBreakerOpen reports a leg refused locally because the owner's
+	// circuit breaker is open: the peer failed repeatedly and is inside
+	// its quiet interval. Errors carrying this sentinel also match
+	// ErrPeerDown, so callers that only know the PR 7 taxonomy (502
+	// mapping, fallback eligibility) need no new case.
+	ErrBreakerOpen = errors.New("cluster peer breaker open")
 )
+
+// FallbackEligible reports whether a leg error permits degraded-mode
+// local fallback: the owner is unreachable (down/timeout/breaker
+// open). Protocol errors — epoch skew, bad responses — never qualify;
+// they signal bugs or incoherence that local execution would mask.
+func FallbackEligible(err error) bool {
+	return errors.Is(err, ErrBreakerOpen) ||
+		errors.Is(err, ErrPeerDown) ||
+		errors.Is(err, ErrPeerTimeout)
+}

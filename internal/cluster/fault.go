@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Deterministic fault injection for the chaos rig and tests: a
+// FaultTransport decorates any Transport with a scripted sequence of
+// per-RPC behaviors — no wall-clock randomness, so a given script
+// produces the same failure pattern on every run. The tcserver
+// -fault-script flag wires it around the HTTP transport; tests wrap
+// in-process transports directly.
+
+// FaultAction is one scripted behavior applied to an RPC.
+type FaultAction int
+
+const (
+	// FaultOK passes the RPC through untouched.
+	FaultOK FaultAction = iota
+	// FaultDown fails the RPC immediately with ErrPeerDown, without
+	// calling the underlying transport.
+	FaultDown
+	// FaultTimeout fails the RPC with ErrPeerTimeout after waiting out
+	// the RPC context (deterministic: the ctx deadline, not a sleep,
+	// decides when).
+	FaultTimeout
+	// FaultSlow delays the RPC by the step's Delay, then passes it
+	// through (fails with ErrPeerTimeout first if the ctx expires).
+	FaultSlow
+)
+
+// FaultStep is one entry of a peer's fault script.
+type FaultStep struct {
+	// Action is the behavior applied while this step is active.
+	Action FaultAction
+	// Count is how many RPCs consume this step; < 0 means forever.
+	Count int
+	// Delay is the added latency for FaultSlow steps.
+	Delay time.Duration
+}
+
+// FaultScript maps peer IDs to their step sequences. A peer exhausts
+// its steps in order; RPCs beyond the last step pass through clean.
+type FaultScript map[string][]FaultStep
+
+// ParseFaultScript parses the -fault-script grammar:
+//
+//	peer:step[,step...][;peer:step[,step...]]...
+//
+// where each step is one of ok | down | timeout | slow=DURATION,
+// optionally suffixed *N (repeat N times) or * (repeat forever), e.g.
+//
+//	"b:down*8,ok" — peer b: first 8 RPCs fail as down, then healthy
+//	"c:slow=100ms*2,timeout,ok" — two slow RPCs, one timeout, then healthy
+func ParseFaultScript(s string) (FaultScript, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty fault script")
+	}
+	script := FaultScript{}
+	for _, peerPart := range strings.Split(s, ";") {
+		peerPart = strings.TrimSpace(peerPart)
+		if peerPart == "" {
+			continue
+		}
+		peer, stepsStr, ok := strings.Cut(peerPart, ":")
+		peer = strings.TrimSpace(peer)
+		if !ok || peer == "" {
+			return nil, fmt.Errorf("cluster: bad fault script entry %q (want peer:steps)", peerPart)
+		}
+		if _, dup := script[peer]; dup {
+			return nil, fmt.Errorf("cluster: duplicate fault script peer %q", peer)
+		}
+		var steps []FaultStep
+		for _, stepStr := range strings.Split(stepsStr, ",") {
+			stepStr = strings.TrimSpace(stepStr)
+			if stepStr == "" {
+				continue
+			}
+			step, err := parseFaultStep(stepStr)
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, step)
+		}
+		if len(steps) == 0 {
+			return nil, fmt.Errorf("cluster: fault script peer %q has no steps", peer)
+		}
+		script[peer] = steps
+	}
+	if len(script) == 0 {
+		return nil, fmt.Errorf("cluster: empty fault script")
+	}
+	return script, nil
+}
+
+func parseFaultStep(s string) (FaultStep, error) {
+	step := FaultStep{Count: 1}
+	if base, rep, ok := strings.Cut(s, "*"); ok {
+		s = strings.TrimSpace(base)
+		rep = strings.TrimSpace(rep)
+		if rep == "" {
+			step.Count = -1
+		} else {
+			n, err := strconv.Atoi(rep)
+			if err != nil || n <= 0 {
+				return FaultStep{}, fmt.Errorf("cluster: bad fault step repeat %q (want *N or *)", rep)
+			}
+			step.Count = n
+		}
+	}
+	switch {
+	case s == "ok":
+		step.Action = FaultOK
+	case s == "down":
+		step.Action = FaultDown
+	case s == "timeout":
+		step.Action = FaultTimeout
+	case strings.HasPrefix(s, "slow="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "slow="))
+		if err != nil || d < 0 {
+			return FaultStep{}, fmt.Errorf("cluster: bad fault step delay %q", s)
+		}
+		step.Action = FaultSlow
+		step.Delay = d
+	default:
+		return FaultStep{}, fmt.Errorf("cluster: bad fault step %q (want ok|down|timeout|slow=DUR)", s)
+	}
+	return step, nil
+}
+
+// FaultTransport wraps a Transport, consuming one scripted step per
+// RPC (leg and update alike). Safe for concurrent use; concurrent RPCs
+// consume steps in arrival order under a mutex.
+type FaultTransport struct {
+	inner Transport
+	peer  string
+
+	mu    sync.Mutex
+	steps []FaultStep
+}
+
+// NewFaultTransport wraps inner with peer's step sequence from script.
+// If the script has no entry for peer the transport passes through
+// untouched (zero overhead beyond a nil check).
+func NewFaultTransport(inner Transport, peer string, script FaultScript) *FaultTransport {
+	return &FaultTransport{inner: inner, peer: peer, steps: append([]FaultStep(nil), script[peer]...)}
+}
+
+// next consumes and returns the current step, or an implicit FaultOK
+// once the script is exhausted.
+func (f *FaultTransport) next() FaultStep {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.steps) > 0 {
+		s := &f.steps[0]
+		if s.Count < 0 {
+			return *s
+		}
+		if s.Count > 0 {
+			s.Count--
+			return *s
+		}
+		f.steps = f.steps[1:]
+	}
+	return FaultStep{Action: FaultOK}
+}
+
+// apply enforces one step before an RPC, returning a non-nil error if
+// the RPC must fail without reaching the inner transport.
+func (f *FaultTransport) apply(ctx context.Context, step FaultStep) error {
+	switch step.Action {
+	case FaultDown:
+		return fmt.Errorf("cluster: %w: injected fault (peer %s)", ErrPeerDown, f.peer)
+	case FaultTimeout:
+		<-ctx.Done()
+		return fmt.Errorf("cluster: %w: injected fault (peer %s)", ErrPeerTimeout, f.peer)
+	case FaultSlow:
+		if err := sleepCtx(ctx, step.Delay); err != nil {
+			return fmt.Errorf("cluster: %w: injected slow fault outlived deadline (peer %s)", ErrPeerTimeout, f.peer)
+		}
+	}
+	return nil
+}
+
+// ExecuteLeg implements Transport.
+func (f *FaultTransport) ExecuteLeg(ctx context.Context, req *LegRequest) (*LegResponse, error) {
+	if err := f.apply(ctx, f.next()); err != nil {
+		return nil, err
+	}
+	return f.inner.ExecuteLeg(ctx, req)
+}
+
+// ForwardUpdate implements Transport.
+func (f *FaultTransport) ForwardUpdate(ctx context.Context, req *UpdateRequest) (*UpdateAck, error) {
+	if err := f.apply(ctx, f.next()); err != nil {
+		return nil, err
+	}
+	return f.inner.ForwardUpdate(ctx, req)
+}

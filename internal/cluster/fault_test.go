@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseFaultScript(t *testing.T) {
+	script, err := ParseFaultScript("b:down*8,ok;c:slow=100ms*2,timeout,ok*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := []FaultStep{{Action: FaultDown, Count: 8}, {Action: FaultOK, Count: 1}}
+	wantC := []FaultStep{
+		{Action: FaultSlow, Count: 2, Delay: 100 * time.Millisecond},
+		{Action: FaultTimeout, Count: 1},
+		{Action: FaultOK, Count: -1},
+	}
+	if len(script["b"]) != len(wantB) {
+		t.Fatalf("peer b: %d steps, want %d", len(script["b"]), len(wantB))
+	}
+	for i, s := range script["b"] {
+		if s != wantB[i] {
+			t.Errorf("peer b step %d = %+v, want %+v", i, s, wantB[i])
+		}
+	}
+	for i, s := range script["c"] {
+		if s != wantC[i] {
+			t.Errorf("peer c step %d = %+v, want %+v", i, s, wantC[i])
+		}
+	}
+}
+
+func TestParseFaultScriptRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"b",               // no colon
+		":down",           // empty peer
+		"b:",              // no steps
+		"b:explode",       // unknown action
+		"b:down*0",        // zero repeat
+		"b:down*-2",       // negative repeat
+		"b:slow=verymuch", // bad duration
+		"b:down;b:ok",     // duplicate peer
+	}
+	for _, s := range bad {
+		if _, err := ParseFaultScript(s); err == nil {
+			t.Errorf("ParseFaultScript(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestFaultTransportConsumesScript(t *testing.T) {
+	inner := &scriptedLegTransport{}
+	script, _ := ParseFaultScript("b:down*2,slow=0ms,ok")
+	ft := NewFaultTransport(inner, "b", script)
+	ctx := context.Background()
+	req := NewLegRequest(0, nil, "dijkstra", 0)
+
+	for i := 0; i < 2; i++ {
+		if _, err := ft.ExecuteLeg(ctx, req); !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("scripted RPC %d = %v, want ErrPeerDown", i, err)
+		}
+	}
+	// slow=0ms passes through, then ok, then the script is exhausted —
+	// all subsequent RPCs pass through clean.
+	for i := 0; i < 3; i++ {
+		if _, err := ft.ExecuteLeg(ctx, req); err != nil {
+			t.Fatalf("post-fault RPC %d: %v", i, err)
+		}
+	}
+	if got := inner.count(); got != 3 {
+		t.Errorf("inner transport saw %d calls, want 3", got)
+	}
+}
+
+func TestFaultTransportTimeoutRespectsContext(t *testing.T) {
+	inner := &scriptedLegTransport{}
+	script, _ := ParseFaultScript("b:timeout")
+	ft := NewFaultTransport(inner, "b", script)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := ft.ExecuteLeg(ctx, NewLegRequest(0, nil, "dijkstra", 0))
+	if !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("injected timeout = %v, want ErrPeerTimeout", err)
+	}
+	if got := inner.count(); got != 0 {
+		t.Errorf("inner transport saw %d calls, want 0", got)
+	}
+}
+
+func TestFaultTransportNoEntryPassesThrough(t *testing.T) {
+	inner := &scriptedLegTransport{}
+	script, _ := ParseFaultScript("c:down*")
+	ft := NewFaultTransport(inner, "b", script) // b has no script entry
+	if _, err := ft.ExecuteLeg(context.Background(), NewLegRequest(0, nil, "dijkstra", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ft.ForwardUpdate(context.Background(), &UpdateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.count(); got != 2 {
+		t.Errorf("inner transport saw %d calls, want 2", got)
+	}
+}
+
+func TestFaultTransportAppliesUpdates(t *testing.T) {
+	inner := &scriptedLegTransport{}
+	script, _ := ParseFaultScript("b:down")
+	ft := NewFaultTransport(inner, "b", script)
+	if _, err := ft.ForwardUpdate(context.Background(), &UpdateRequest{}); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("scripted update = %v, want ErrPeerDown", err)
+	}
+	if _, err := ft.ForwardUpdate(context.Background(), &UpdateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -229,7 +229,12 @@ func (t *HTTPTransport) post(ctx context.Context, path string, body any, hdr htt
 	if resp.StatusCode != http.StatusOK {
 		return t.peerErr(path, resp)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	err = json.NewDecoder(resp.Body).Decode(out)
+	// Drain whatever the decoder left (it stops at the end of the JSON
+	// value): a body closed with bytes unread kills the keep-alive
+	// connection, and every subsequent RPC pays a fresh TCP handshake.
+	io.Copy(io.Discard, resp.Body)
+	if err != nil {
 		return fmt.Errorf("cluster: %w: peer %s %s: undecodable 200 body: %v", ErrBadPeerResponse, t.node.ID, path, err)
 	}
 	return nil
@@ -258,6 +263,8 @@ func (t *HTTPTransport) classify(path string, err error) error {
 // via the envelope's stable code.
 func (t *HTTPTransport) peerErr(path string, resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	// Drain past the limit so the connection stays reusable (see post).
+	io.Copy(io.Discard, resp.Body)
 	var env peerError
 	if err := json.Unmarshal(raw, &env); err != nil || env.Code == "" {
 		return fmt.Errorf("cluster: %w: peer %s %s answered HTTP %d outside the protocol: %.200s",

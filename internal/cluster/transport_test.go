@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httptrace"
 	"testing"
 	"time"
 
@@ -294,5 +295,60 @@ func TestForwardUpdate(t *testing.T) {
 	ackEpoch = 9
 	if _, err := c.FanOutUpdate(context.Background(), ops, 2); !errors.Is(err, ErrEpochSkew) {
 		t.Errorf("divergent ack: got %v, want ErrEpochSkew", err)
+	}
+}
+
+// TestHTTPTransportReusesConnections: the transport must drain response
+// bodies before close, or every RPC pays a fresh TCP handshake. The
+// JSON decoder stops at the end of the value — the encoder's trailing
+// newline (and any padding) stays unread — so without the explicit
+// drain the keep-alive connection is torn down. httptrace's GotConn
+// reports whether each request rode an existing connection.
+func TestHTTPTransportReusesConnections(t *testing.T) {
+	facts := legFacts(t)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/leg":
+			w.Header().Set("Content-Type", "application/json")
+			// Encoder appends '\n'; pad further so a non-draining client
+			// provably leaves bytes behind.
+			_ = json.NewEncoder(w).Encode(NewLegResponse(0, false, facts, tc.Stats{}))
+			w.Write([]byte("    \n"))
+		case "/v1/update":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(peerError{Error: "skew", Code: "epoch_skew"})
+			w.Write([]byte("    \n"))
+		}
+	}))
+	defer hs.Close()
+
+	tr := NewHTTPTransport(Node{ID: "b", URL: hs.URL}, time.Second)
+	conns, reused := 0, 0
+	trace := &httptrace.ClientTrace{GotConn: func(info httptrace.GotConnInfo) {
+		conns++
+		if info.Reused {
+			reused++
+		}
+	}}
+	ctx := httptrace.WithClientTrace(context.Background(), trace)
+
+	const rpcs = 6
+	for i := 0; i < rpcs; i++ {
+		if _, err := tr.ExecuteLeg(ctx, NewLegRequest(0, nil, "dijkstra", 0)); err != nil {
+			t.Fatalf("leg %d: %v", i, err)
+		}
+	}
+	// The error path (peerErr) must drain too.
+	for i := 0; i < 2; i++ {
+		if _, err := tr.ForwardUpdate(ctx, &UpdateRequest{}); !errors.Is(err, ErrEpochSkew) {
+			t.Fatalf("update %d: %v, want ErrEpochSkew", i, err)
+		}
+	}
+	if conns != rpcs+2 {
+		t.Fatalf("GotConn fired %d times for %d RPCs", conns, rpcs+2)
+	}
+	if reused != conns-1 {
+		t.Errorf("%d of %d RPCs reused a connection, want %d (bodies not drained?)", reused, conns, conns-1)
 	}
 }

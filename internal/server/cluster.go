@@ -143,6 +143,9 @@ type ClusterStats struct {
 	// Placement maps node ID → sites owned (the full routing table;
 	// identical on every member, derived from the same ring).
 	Placement map[string][]int `json:"placement"`
+	// Breakers maps each remote peer to its circuit-breaker state
+	// (closed | half_open | open) as seen by this node.
+	Breakers map[string]string `json:"breakers"`
 }
 
 // clusterStats builds the /stats cluster block (nil when single-node).
@@ -154,5 +157,6 @@ func (s *Server) clusterStats(sites int) *ClusterStats {
 		NodeID:    s.cluster.Self().ID,
 		Nodes:     s.cluster.Nodes(),
 		Placement: s.cluster.Placement(sites),
+		Breakers:  s.cluster.BreakerStates(),
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -371,10 +372,13 @@ func emptyLeg(epoch uint64) *cluster.LegResponse {
 	return cluster.NewLegResponse(epoch, false, relation.New("src", "dst", "cost"), tc.Stats{})
 }
 
-// TestClusterFailureTaxonomy: each distinct peer failure surfaces as
-// its own typed tcq error through the whole stack — the library error
-// satisfies errors.Is, and the HTTP surface answers the matching
-// status and stable code.
+// TestClusterFailureTaxonomy: protocol-level peer failures — the kinds
+// degraded fallback must NOT mask — surface as their own typed tcq
+// error through the whole stack: the library error satisfies
+// errors.Is, and the HTTP surface answers the matching status and
+// stable code. (Transport-level failures no longer surface on the read
+// path at all: they fall back to local execution — see
+// TestClusterDegradedFallback.)
 func TestClusterFailureTaxonomy(t *testing.T) {
 	cases := []struct {
 		name       string
@@ -383,10 +387,6 @@ func TestClusterFailureTaxonomy(t *testing.T) {
 		wantStatus int
 		wantCode   string
 	}{
-		{"peer down", &faultTransport{err: fmt.Errorf("dial: %w", cluster.ErrPeerDown)},
-			tcq.ErrPeerDown, http.StatusBadGateway, "peer_down"},
-		{"peer timeout", &faultTransport{err: fmt.Errorf("deadline: %w", cluster.ErrPeerTimeout)},
-			tcq.ErrPeerTimeout, http.StatusGatewayTimeout, "peer_timeout"},
 		{"epoch skew", &faultTransport{leg: func(r *cluster.LegRequest) *cluster.LegResponse { return emptyLeg(r.Epoch + 5) }},
 			tcq.ErrEpochSkew, http.StatusConflict, "epoch_skew"},
 		{"malformed leg", &faultTransport{leg: func(r *cluster.LegRequest) *cluster.LegResponse {
@@ -414,6 +414,142 @@ func TestClusterFailureTaxonomy(t *testing.T) {
 				t.Errorf("HTTP surface: status %d code %q, want %d %q", status, ve.Code, tt.wantStatus, tt.wantCode)
 			}
 		})
+	}
+}
+
+// TestClusterDegradedFallback: with a peer unreachable (down or timing
+// out), queries whose legs route to it succeed anyway — the
+// coordinator executes those legs locally against its own pinned
+// snapshot — with the degradation fully visible: QueryStats and the
+// /v1 placement explain name the fallback sites, the fallback counter
+// advances, the breaker trips, and /readyz + /stats report degraded.
+func TestClusterDegradedFallback(t *testing.T) {
+	faults := []struct {
+		name string
+		err  error
+	}{
+		{"peer down", fmt.Errorf("dial: %w", cluster.ErrPeerDown)},
+		{"peer timeout", fmt.Errorf("deadline: %w", cluster.ErrPeerTimeout)},
+	}
+	for _, tt := range faults {
+		t.Run(tt.name, func(t *testing.T) {
+			tcl := newTestCluster(t, 8, 8, 8, 2, func(i int, cfg *cluster.Config) {
+				cfg.NewTransport = func(cluster.Node) cluster.Transport { return &faultTransport{err: tt.err} }
+				cfg.Retry.Attempts = 1           // no retries: each failure is terminal
+				cfg.Breaker.FailureThreshold = 1 // trip on the first failure
+			})
+			srv := tcl.servers[0]
+			ref, _ := newGridServer(t, 8, 8, 8, Config{CacheCapacity: 256})
+
+			// Corner to corner crosses every fragment; legs owned by the
+			// dead peer must fall back and the answer must stay exact.
+			want, _, err := ref.Query(0, 63, dsa.EngineDijkstra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, qs, err := srv.Query(0, 63, dsa.EngineDijkstra)
+			if err != nil {
+				t.Fatalf("degraded query failed instead of falling back: %v", err)
+			}
+			if got.Reachable != want.Reachable || math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Errorf("degraded answer (%v, %v), single-node (%v, %v)",
+					got.Reachable, got.Cost, want.Reachable, want.Cost)
+			}
+			if len(qs.FallbackSites) == 0 {
+				t.Error("degraded query reported no fallback sites")
+			}
+			coord := srv.cluster
+			for _, site := range qs.FallbackSites {
+				if coord.IsLocal(site) {
+					t.Errorf("locally owned site %d reported as fallback", site)
+				}
+			}
+
+			// The /v1 surface: the query succeeds and its placement explain
+			// marks exactly the remote sites as fallback.
+			var vr V1QueryResponse
+			status := postV1(t, tcl.https[0].URL+"/v1/query",
+				V1Request{Sources: []int{0}, Targets: []int{63}, Mode: "cost", Engine: "dijkstra"}, &vr)
+			if status != http.StatusOK {
+				t.Fatalf("degraded /v1/query: status %d", status)
+			}
+			sawFallback := false
+			for _, p := range vr.Explain.Placement {
+				if remote := !coord.IsLocal(p.Site); p.Fallback != remote {
+					t.Errorf("placement site %d (remote %v) fallback %v", p.Site, remote, p.Fallback)
+				}
+				sawFallback = sawFallback || p.Fallback
+			}
+			if !sawFallback {
+				t.Error("degraded /v1/query placement carried no fallback annotation")
+			}
+
+			// Degradation is observable: breaker open in /stats, readyz
+			// degraded, fallback counter advanced.
+			st := srv.Stats()
+			if st.Cluster == nil || st.Cluster.Breakers["b"] != "open" {
+				t.Errorf("stats breakers = %+v, want b open", st.Cluster.Breakers)
+			}
+			resp, err := http.Get(tcl.https[0].URL + "/readyz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rz ReadyzResponse
+			if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || rz.Status != "degraded" || rz.Breakers["b"] != "open" {
+				t.Errorf("readyz = %d %+v, want 200 degraded with b open", resp.StatusCode, rz)
+			}
+			fallbacks := 0.0
+			for k, v := range srv.metrics.reg.Snapshot() {
+				if strings.HasPrefix(k, "tc_cluster_leg_fallback_total") {
+					fallbacks += v
+				}
+			}
+			if fallbacks == 0 {
+				t.Error("tc_cluster_leg_fallback_total did not advance")
+			}
+		})
+	}
+}
+
+// TestClusterUpdateNeverFallsBack: write fan-out keeps PR 7's
+// single-shot coherence semantics — an unreachable peer fails the
+// update with a typed 502, it is not retried and never "falls back"
+// (that would silently diverge the membership).
+func TestClusterUpdateNeverFallsBack(t *testing.T) {
+	tcl := newTestCluster(t, 8, 8, 8, 2, func(i int, cfg *cluster.Config) {
+		cfg.NewTransport = func(cluster.Node) cluster.Transport {
+			return &faultTransport{err: fmt.Errorf("dial: %w", cluster.ErrPeerDown)}
+		}
+	})
+	var ve V1Error
+	status := postV1(t, tcl.https[0].URL+"/v1/update",
+		V1UpdateRequest{Ops: []V1UpdateOp{{Op: "insert", Fragment: 0, From: 0, To: 1, Weight: 2}}}, &ve)
+	if status != http.StatusBadGateway || ve.Code != "peer_down" {
+		t.Errorf("update with dead peer: status %d code %q, want 502 peer_down", status, ve.Code)
+	}
+}
+
+// TestReadyzSingleNode: without a cluster, readyz is a plain ok and
+// carries no breaker table.
+func TestReadyzSingleNode(t *testing.T) {
+	srv, _ := newGridServer(t, 6, 6, 4, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rz ReadyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || rz.Status != "ok" || len(rz.Breakers) != 0 {
+		t.Errorf("single-node readyz = %d %+v, want 200 ok without breakers", resp.StatusCode, rz)
 	}
 }
 

@@ -88,6 +88,7 @@ func (s *Server) Handler() http.Handler {
 	metricsHandler := m.reg.Handler()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", m.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", m.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("POST /v1/query", m.instrument("/v1/query", s.handleV1Query))
 	mux.HandleFunc("POST /v1/batch", m.instrument("/v1/batch", s.handleV1Batch))
 	mux.HandleFunc("POST /v1/update", m.instrument("/v1/update", s.handleV1Update))
@@ -135,6 +136,30 @@ func (s *Server) parseEngine(r *http.Request) (tcq.Engine, error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReadyzResponse is the GET /readyz body: liveness split from cluster
+// readiness. A degraded node still answers every query correctly
+// (remote-owned legs fall back to local execution), so readyz reports
+// degradation as data with HTTP 200 — restarting the one healthy
+// survivor because its PEERS are down would be exactly wrong.
+type ReadyzResponse struct {
+	// Status is "ok", or "degraded" when any peer breaker is not closed.
+	Status string `json:"status"`
+	// Breakers maps each remote peer to its breaker state; absent on
+	// single-node deployments.
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyzResponse{Status: "ok"}
+	if s.cluster != nil {
+		resp.Breakers = s.cluster.BreakerStates()
+		if s.cluster.Degraded() {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleQuery is the legacy unversioned shim: it translates the GET

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -90,6 +91,36 @@ type LoadConfig struct {
 	WriteEdges [][3]int
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// RetryTransient, when positive, re-fires a read query up to this
+	// many extra times after a transient gateway failure (HTTP 502 or
+	// 504 — the statuses a cluster node answers with while a peer is
+	// down or timing out, before its breaker opens and local fallback
+	// takes over). Writes are never retried: an ambiguous update
+	// failure must surface, not double-apply. Retries are counted in
+	// the report so a chaos run can distinguish "rode through N blips"
+	// from "saw nothing".
+	RetryTransient int
+}
+
+// statusError is a non-2xx response, preserving the code so the load
+// loop can tell transient gateway blips (502/504) from hard failures.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	if e.body == "" {
+		return fmt.Sprintf("status %d", e.code)
+	}
+	return fmt.Sprintf("status %d: %s", e.code, e.body)
+}
+
+// transient reports whether err is a retryable gateway blip.
+func transient(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) &&
+		(se.code == http.StatusBadGateway || se.code == http.StatusGatewayTimeout)
 }
 
 // LoadReport is the outcome of one load run. The JSON rendering is
@@ -135,6 +166,10 @@ type LoadReport struct {
 	// EpochDelta is the server epoch advance over the run — one per
 	// applied transaction.
 	EpochDelta uint64 `json:"epoch_delta"`
+	// TransientRetries counts read queries re-fired after a transient
+	// 502/504 (RetryTransient > 0). A request that eventually succeeds
+	// after retries is not an error.
+	TransientRetries int `json:"transient_retries"`
 	// Metrics is the server's /metrics scrape taken after the run
 	// (name{labels} -> value) — server-side truth beside the
 	// client-side latencies, and the proof the exposition format
@@ -160,6 +195,9 @@ func (r *LoadReport) Format() string {
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
 	fmt.Fprintf(&sb, "leg cache: %d hits, %d misses, hit rate %.1f%%\n",
 		r.CacheHits, r.CacheMisses, 100*r.HitRate)
+	if r.TransientRetries > 0 {
+		fmt.Fprintf(&sb, "transient retries: %d (502/504 blips ridden through)\n", r.TransientRetries)
+	}
 	if r.Writes > 0 {
 		fmt.Fprintf(&sb, "writes: %d (epoch +%d)  write latency p50: %v  p95: %v  p99: %v\n",
 			r.Writes, r.EpochDelta, r.WriteP50.Round(time.Microsecond),
@@ -256,6 +294,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		mismatches atomic.Int64
 		unreach    atomic.Int64
 		writesN    atomic.Int64
+		retriesN   atomic.Int64
 	)
 	issue := func(format string, args ...any) {
 		mu.Lock()
@@ -302,6 +341,11 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					}
 					t0 := time.Now()
 					ans, err := fire(client, cfg, bases[i%len(bases)], p[0], p[1])
+					for attempt := 0; err != nil && transient(err) && attempt < cfg.RetryTransient; attempt++ {
+						retriesN.Add(1)
+						time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+						ans, err = fire(client, cfg, bases[i%len(bases)], p[0], p[1])
+					}
 					local = append(local, time.Since(t0))
 					if err != nil {
 						errorsN.Add(1)
@@ -343,6 +387,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.Errors = int(errorsN.Load())
 	rep.Mismatches = int(mismatches.Load())
 	rep.Unreachable = int(unreach.Load())
+	rep.TransientRetries = int(retriesN.Load())
 	if rep.Elapsed > 0 {
 		rep.QPS = float64(rep.Requests) / rep.Elapsed.Seconds()
 	}
@@ -441,7 +486,7 @@ func fire(client *http.Client, cfg LoadConfig, baseURL string, src, dst int) (an
 		return answer{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return answer{}, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return answer{}, &statusError{code: resp.StatusCode, body: strings.TrimSpace(string(body))}
 	}
 	if cfg.Mode == "connected" {
 		var cr ConnectedResponse
@@ -487,7 +532,7 @@ func fireV1(client *http.Client, cfg LoadConfig, baseURL string, src, dst int) (
 		return answer{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return answer{}, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		return answer{}, &statusError{code: resp.StatusCode, body: strings.TrimSpace(string(raw))}
 	}
 	var vr V1QueryResponse
 	if err := json.Unmarshal(raw, &vr); err != nil {

@@ -177,7 +177,7 @@ func (s *Server) RunPair(ctx context.Context, snap *tcq.Snapshot, source, target
 		s.connected.Add(1)
 	}
 	s.metrics.observeQuery(engine.String(), mode, time.Since(start))
-	return res, tcq.RunStats{CacheHits: qs.CacheHits, CacheMisses: qs.CacheMisses}, nil
+	return res, tcq.RunStats{CacheHits: qs.CacheHits, CacheMisses: qs.CacheMisses, FallbackSites: qs.FallbackSites}, nil
 }
 
 // Close stops the worker pools and detaches the server from its
@@ -197,6 +197,10 @@ func (s *Server) DefaultEngine() tcq.Engine { return s.cfg.DefaultEngine }
 type QueryStats struct {
 	// CacheHits and CacheMisses count this query's leg lookups.
 	CacheHits, CacheMisses int
+	// FallbackSites lists remote-owned sites whose legs this node
+	// executed locally in degraded mode (owner unreachable). Empty on
+	// healthy clusters and single-node deployments.
+	FallbackSites []int
 }
 
 // Query answers a shortest-path query through the pools and the cache.
@@ -296,6 +300,8 @@ func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target 
 	results := make([]*dsa.LegResult, len(plan.Legs))
 	errs := make([]error, len(plan.Legs))
 	var hits, misses atomic.Int64
+	var fallbackMu sync.Mutex
+	var fallbackSites []int
 	var wg sync.WaitGroup
 	finishLeg := func(i int, leg dsa.Leg, t0 time.Time, full *relation.Relation, stats tc.Stats, hit bool) {
 		if hit {
@@ -327,8 +333,26 @@ func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target 
 				t0 := time.Now()
 				full, stats, hit, err := s.cluster.ExecuteLeg(ctx, leg.SiteID, leg.Entry, engine.String(), epoch)
 				if err != nil {
-					errs[i] = err
-					return
+					// Degraded mode: the owner is unreachable (down,
+					// timed out, or its breaker is open), but every node
+					// builds the identical store — so run the leg here,
+					// against the same pinned snapshot, and answer
+					// correctly instead of failing the query. Protocol
+					// errors (epoch skew, bad response) are NOT eligible:
+					// falling back would mask incoherence.
+					if !cluster.FallbackEligible(err) {
+						errs[i] = err
+						return
+					}
+					full, stats, hit, err = s.executeLegLocal(ctx, snap, leg.SiteID, leg.Entry, engine)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					s.cluster.FallbackLeg(leg.SiteID)
+					fallbackMu.Lock()
+					fallbackSites = append(fallbackSites, leg.SiteID)
+					fallbackMu.Unlock()
 				}
 				// hit reports the OWNER's cache verdict — remote hits
 				// count as hits here so the hit rate reflects work
@@ -358,7 +382,7 @@ func (s *Server) runCtx(ctx context.Context, snap *tcq.Snapshot, source, target 
 		})
 	}
 	wg.Wait()
-	qs := QueryStats{CacheHits: int(hits.Load()), CacheMisses: int(misses.Load())}
+	qs := QueryStats{CacheHits: int(hits.Load()), CacheMisses: int(misses.Load()), FallbackSites: fallbackSites}
 	for _, err := range errs {
 		if err != nil {
 			return nil, qs, err

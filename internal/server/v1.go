@@ -92,6 +92,9 @@ type V1Explain struct {
 type V1SitePlacement struct {
 	Site int    `json:"site"`
 	Node string `json:"node"`
+	// Fallback marks degraded-mode execution: the owner was unreachable
+	// and the coordinator ran this site's legs locally.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // V1Answer is one (source, target) pair answer on the wire.
@@ -282,7 +285,7 @@ func v1ResponseFrom(res *tcq.Result) *V1QueryResponse {
 		ElapsedUS:   res.Elapsed.Microseconds(),
 	}
 	for _, p := range res.Explain.Placement {
-		out.Explain.Placement = append(out.Explain.Placement, V1SitePlacement{Site: p.Site, Node: p.Node})
+		out.Explain.Placement = append(out.Explain.Placement, V1SitePlacement{Site: p.Site, Node: p.Node, Fallback: p.Fallback})
 	}
 	costMode := res.Explain.Mode != tcq.ModeConnectivity
 	for _, a := range res.Answers {

@@ -83,6 +83,13 @@ var (
 	// unknown error code) — a version or configuration mismatch between
 	// nodes.
 	ErrBadPeerResponse = cluster.ErrBadPeerResponse
+	// ErrBreakerOpen reports a remote leg refused without an RPC because
+	// the owning peer's circuit breaker is open (the peer failed
+	// repeatedly and is inside its recovery interval). Errors wrapping
+	// it also wrap ErrPeerDown, so existing peer-failure handling
+	// applies unchanged; on the serving layer these legs fall back to
+	// degraded local execution instead of surfacing at all.
+	ErrBreakerOpen = cluster.ErrBreakerOpen
 )
 
 // canceledErr wraps a context error as an ErrCanceled, the same

@@ -103,6 +103,12 @@ type SitePlacement struct {
 	Site int `json:"site"`
 	// Node is the owning node's ID.
 	Node string `json:"node"`
+	// Fallback reports degraded-mode execution: the owning node was
+	// unreachable (down, timed out, or circuit-breaker open), so the
+	// coordinator executed this site's legs locally against its own
+	// pinned snapshot. The answer is exact — every node holds the full
+	// dataset — but the cluster is running degraded; /readyz reports it.
+	Fallback bool `json:"fallback,omitempty"`
 }
 
 // PlacementReporter is implemented by runners that execute legs across

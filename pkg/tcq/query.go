@@ -122,6 +122,11 @@ func queryOn(ctx context.Context, snap *Snapshot, runner Runner, req Request) (*
 	res.CacheHits, res.CacheMisses = rs.cacheHits, rs.cacheMisses
 	if pr, ok := runner.(PlacementReporter); ok {
 		res.Explain.Placement = pr.Placement(involvedSites(res.Answers))
+		for i := range res.Explain.Placement {
+			if rs.fallback[res.Explain.Placement[i].Site] {
+				res.Explain.Placement[i].Fallback = true
+			}
+		}
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -226,6 +231,7 @@ type Results struct {
 	limitHit    bool
 	cacheHits   int
 	cacheMisses int
+	fallback    map[int]bool // sites answered by degraded local fallback
 }
 
 // Explain returns the planner's decision for the stream's request.
@@ -262,6 +268,12 @@ func (rs *Results) Next() bool {
 	}
 	rs.cacheHits += runStats.CacheHits
 	rs.cacheMisses += runStats.CacheMisses
+	for _, site := range runStats.FallbackSites {
+		if rs.fallback == nil {
+			rs.fallback = map[int]bool{}
+		}
+		rs.fallback[site] = true
+	}
 	rs.cur = answerFrom(source, target, rs.explain.Mode, res)
 	rs.emitted++
 	return true

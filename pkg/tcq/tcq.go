@@ -103,6 +103,12 @@ func BuildStore(fr *fragment.Fragmentation, opt BuildOptions) (*dsa.Store, error
 type RunStats struct {
 	// CacheHits and CacheMisses count leg-cache lookups of this pair.
 	CacheHits, CacheMisses int
+	// FallbackSites lists remote-owned sites whose legs the runner
+	// executed locally in degraded mode because their owner was
+	// unreachable (down, timed out, or circuit-breaker open). Empty on
+	// healthy clusters and single-node runners. Queries surface the
+	// union per placement entry as SitePlacement.Fallback.
+	FallbackSites []int
 }
 
 // Runner executes one planned (source, target) pair query against a
