@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+)
+
+// The metric catalog cross-check reads the README rather than a
+// separate manifest: the README table IS the documentation the check
+// exists to keep honest, so scraping anything else would reintroduce
+// the drift the analyzer prevents.
+
+// metricTokenRE matches a documented metric name, including the
+// README table's brace-family shorthand:
+// tc_legcache_{hits,misses}_total.
+var metricTokenRE = regexp.MustCompile(`\btc_[a-z0-9_]*(?:\{[a-z0-9_,]+\}[a-z0-9_]*)*`)
+
+// MetricCatalogFromReadme extracts every tc_-prefixed metric name
+// mentioned in the README, forming the documented-metric set the
+// metricname analyzer checks registrations against.
+func MetricCatalogFromReadme(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	catalog := map[string]bool{}
+	for _, tok := range metricTokenRE.FindAllString(string(data), -1) {
+		for _, name := range expandMetricToken(tok) {
+			catalog[name] = true
+		}
+	}
+	return catalog, nil
+}
+
+// expandMetricToken expands each {a,b,...} alternation group in a
+// documented name; a plain token expands to itself.
+func expandMetricToken(tok string) []string {
+	i := strings.Index(tok, "{")
+	if i < 0 {
+		return []string{tok}
+	}
+	j := strings.Index(tok, "}")
+	var out []string
+	for _, alt := range strings.Split(tok[i+1:j], ",") {
+		out = append(out, expandMetricToken(tok[:i]+alt+tok[j+1:])...)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMetricCatalogFromReadme(t *testing.T) {
+	readme := filepath.Join(t.TempDir(), "README.md")
+	body := "| `tc_queries_total` | counter |\n" +
+		"| `tc_legcache_{hits,misses}_total` | counter |\n" +
+		"| `tc_rpc_{leg,update}_{sent,failed}_total` | counter |\n" +
+		"Plain prose mentioning tc_epoch too.\n"
+	if err := os.WriteFile(readme, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := MetricCatalogFromReadme(readme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tc_queries_total",
+		"tc_legcache_hits_total",
+		"tc_legcache_misses_total",
+		"tc_rpc_leg_sent_total",
+		"tc_rpc_update_failed_total",
+		"tc_epoch",
+	} {
+		if !catalog[want] {
+			t.Errorf("catalog missing %s (have %v)", want, catalog)
+		}
+	}
+	if catalog["tc_legcache_{hits,misses}_total"] {
+		t.Error("unexpanded family shorthand leaked into the catalog")
+	}
+}

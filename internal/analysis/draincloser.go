@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// draincloser makes the PR 8 keep-alive bug impossible to
+// reintroduce. The bug: json.Decoder stops reading at the end of the
+// first JSON value, so Decode-then-Close leaves trailing bytes
+// (usually the final newline) unread — net/http then refuses to
+// reuse the connection, and every subsequent RPC pays a fresh TCP
+// handshake. The fix, and now the contract, is that every
+// *http.Response body is BOTH closed and fully drained:
+//
+//	defer resp.Body.Close()
+//	err := json.NewDecoder(resp.Body).Decode(&out)
+//	io.Copy(io.Discard, resp.Body) // drain what the decoder left
+//
+// The analysis is function-granular and type-driven: it finds every
+// variable of type *net/http.Response, requires a Body.Close in the
+// same function (unless the response escapes — is returned or handed
+// to another function whole, transferring ownership), and flags any
+// json/xml NewDecoder over a response body that is not accompanied by
+// a full-read of the same body (io.Copy/io.ReadAll or any other
+// consuming call).
+type respUse struct {
+	obj        types.Object
+	born       ast.Node // the assignment that produced it; nil for params
+	closed     bool
+	escaped    bool
+	drained    bool       // body passed to a non-decoder consumer
+	decoderPos []ast.Node // NewDecoder(resp.Body) sites
+}
+
+// DrainCloser returns the response-body analyzer.
+func DrainCloser() *Analyzer {
+	return &Analyzer{
+		Name:      "draincloser",
+		Doc:       "every *http.Response body must be closed and fully drained; json.NewDecoder alone leaves trailing bytes that kill keep-alive reuse",
+		NeedTypes: true,
+		Run:       runDrainCloser,
+	}
+}
+
+func runDrainCloser(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncResponses(pass, fn)
+		}
+	}
+}
+
+// isHTTPResponsePtr reports whether t is *net/http.Response.
+func isHTTPResponsePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Response" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// objOf resolves an identifier to its object, definition or use.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// checkFuncResponses applies the drain-and-close contract to one
+// function body.
+func checkFuncResponses(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	uses := map[types.Object]*respUse{}
+
+	// Response-typed parameters: the caller owns Close, but the
+	// decoder-drain rule still applies to whatever this function reads.
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isHTTPResponsePtr(obj.Type()) {
+				uses[obj] = &respUse{obj: obj, closed: true}
+			}
+		}
+	}
+
+	// Response variables born from assignments in this function.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(info, id)
+			if obj == nil || !isHTTPResponsePtr(obj.Type()) {
+				continue
+			}
+			if _, seen := uses[obj]; !seen {
+				uses[obj] = &respUse{obj: obj, born: assign}
+			}
+		}
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	// Classify every reference to each response object.
+	assignLHS := map[*ast.Ident]bool{}
+	selectorX := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					assignLHS[id] = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				selectorX[id] = true
+			}
+		case *ast.CallExpr:
+			classifyRespCall(info, n, uses)
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || assignLHS[id] || selectorX[id] {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if u, tracked := uses[obj]; tracked {
+			// A bare (non-selector) use: returned, passed whole to a
+			// call, aliased, compared. Ownership may have moved —
+			// conservatively trust the new owner with Close.
+			u.escaped = true
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		if !u.closed && !u.escaped {
+			pass.Reportf(u.born.Pos(),
+				"*http.Response body is never closed in this function: add `defer %s.Body.Close()` (and drain before it) or the connection leaks",
+				u.obj.Name())
+		}
+		if len(u.decoderPos) > 0 && !u.drained {
+			pass.Reportf(u.decoderPos[0].Pos(),
+				"json.NewDecoder(%s.Body) stops at the end of the first value; drain the remainder with io.Copy(io.Discard, %s.Body) before Close, or keep-alive reuse dies (the PR 8 bug)",
+				u.obj.Name(), u.obj.Name())
+		}
+	}
+}
+
+// classifyRespCall updates the tracked responses for one call:
+// Body.Close marks closed, NewDecoder(resp.Body) records a decoder
+// read, any other call consuming resp.Body counts as a drain.
+func classifyRespCall(info *types.Info, call *ast.CallExpr, uses map[types.Object]*respUse) {
+	// resp.Body.Close()
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if u := bodyOwner(info, sel.X, uses); u != nil {
+			u.closed = true
+			return
+		}
+	}
+	isDecoder := false
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "NewDecoder" {
+		isDecoder = true
+	}
+	for _, arg := range call.Args {
+		u := bodyOwner(info, arg, uses)
+		if u == nil {
+			continue
+		}
+		if isDecoder {
+			u.decoderPos = append(u.decoderPos, call)
+		} else {
+			u.drained = true
+		}
+	}
+}
+
+// bodyOwner resolves an expression of the form resp.Body back to its
+// tracked response, or nil.
+func bodyOwner(info *types.Info, e ast.Expr, uses map[types.Object]*respUse) *respUse {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return uses[obj]
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// injectedclock guards the breaker and retry state machines'
+// testability contract from PR 8: every timing decision in
+// internal/cluster flows through the injected Config.Clock (breaker
+// open-interval arithmetic) or sleepCtx (retry backoff), so tests can
+// drive closed → open → half-open transitions and backoff schedules
+// deterministically, without sleeping. One bare time.Now or
+// time.Sleep in that package re-introduces wall-clock coupling and
+// turns a deterministic state-machine test back into a flake. The
+// two legitimate exceptions — the default wiring that SELECTS
+// time.Now when no clock is injected, and latency stamps around RPCs
+// (measurement, not control flow) — carry explicit suppressions.
+
+// clockScopedPkgs are the packages whose state machines require an
+// injected clock.
+var clockScopedPkgs = map[string]bool{
+	"repro/internal/cluster": true,
+}
+
+// bannedClockCalls are the time package functions that read or block
+// on the wall clock. time.NewTimer is deliberately absent: it is the
+// primitive sleepCtx itself is built on, and it only ever appears
+// behind that seam.
+var bannedClockCalls = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+}
+
+// InjectedClock returns the clock-injection analyzer.
+func InjectedClock() *Analyzer {
+	return &Analyzer{
+		Name: "injectedclock",
+		Doc:  "no bare time.Now/Sleep/After in internal/cluster: breaker and retry timing must flow through Config.Clock or sleepCtx",
+		Run:  runInjectedClock,
+	}
+}
+
+func runInjectedClock(pass *Pass) {
+	if !clockScopedPkgs[pass.PkgPath] {
+		return
+	}
+	for _, f := range pass.Files {
+		imports := fileImports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || imports[ident.Name] != "time" || !bannedClockCalls[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"bare %s.%s in %s: breaker/retry timing must flow through Config.Clock or sleepCtx so state-machine tests stay deterministic (latency stamps take a //tcvet:ignore with a reason)",
+				ident.Name, sel.Sel.Name, pass.PkgPath)
+			return true
+		})
+	}
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader: walks a module tree, parses every non-test package, and
+// type-checks on demand. Intra-module imports are resolved by loading
+// the imported directory recursively; everything else (the stdlib)
+// goes through the gc source importer, so the whole pipeline stays on
+// the standard library — no export-data files, no x/tools.
+
+// Package is one loaded module package.
+type Package struct {
+	// Path is the import path ("repro/internal/cluster").
+	Path string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Fset is the loader-wide file set.
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are populated by Check; nil until then (and nil
+	// if type-checking failed — the load error records why).
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks the packages of one module.
+type Loader struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+
+	fset     *token.FileSet
+	std      types.Importer
+	pkgs     map[string]*Package // by import path; nil value = load failed
+	loadErrs map[string]error
+	checked  map[string]*types.Package
+	checking map[string]bool
+}
+
+// NewLoader locates the module root at or above dir and prepares a
+// loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:     root,
+		Module:   mod,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		loadErrs: map[string]error{},
+		checked:  map[string]*types.Package{},
+		checking: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			mod := strings.TrimSpace(strings.Trim(strings.TrimSpace(rest), `"`))
+			if mod != "" {
+				return mod, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// LoadAll discovers and parses every package under the module root,
+// skipping testdata, hidden and VCS directories. It returns the
+// packages sorted by import path; parse failures abort (an unparsable
+// tree cannot be vetted).
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// importPathFor maps an absolute module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseDir parses the non-test Go files of one directory into a
+// Package, or returns nil if the directory holds none.
+func (l *Loader) parseDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.parseDirAs(dir, path)
+}
+
+// LoadDirAs parses a directory's files under an assumed import path —
+// how the golden-fixture tests present testdata packages to analyzers
+// whose rules are scoped by package path (a fixture living in
+// testdata/src/... analyzes as if it were repro/internal/cluster).
+func (l *Loader) LoadDirAs(dir, asPath string) (*Package, error) {
+	pkg, err := l.parseDirAs(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// parseDirAs parses dir's files registering them under path.
+func (l *Loader) parseDirAs(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, l.loadErrs[path]
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+	sort.Strings(names)
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			l.pkgs[path] = nil
+			l.loadErrs[path] = err
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Check type-checks pkg (and, transitively, every package it
+// imports), populating pkg.Types and pkg.Info. Errors are returned
+// once per package and leave pkg.Types nil.
+func (l *Loader) Check(pkg *Package) error {
+	if pkg.Types != nil {
+		return nil
+	}
+	tp, err := l.check(pkg.Path)
+	if err != nil {
+		return err
+	}
+	pkg.Types = tp
+	return nil
+}
+
+// check resolves one import path to a type-checked package.
+func (l *Loader) check(path string) (*types.Package, error) {
+	if tp, ok := l.checked[path]; ok {
+		return tp, l.loadErrs["check:"+path]
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	pkg := l.pkgs[path]
+	if pkg == nil {
+		// Not parsed yet: resolve the directory from the import path.
+		rel := strings.TrimPrefix(path, l.Module)
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+		var err error
+		pkg, err = l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files for %s", path)
+		}
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if imp == l.Module || strings.HasPrefix(imp, l.Module+"/") {
+				return l.check(imp)
+			}
+			return l.std.Import(imp)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tp, _ := conf.Check(path, l.fset, pkg.Files, info)
+	if len(typeErrs) > 0 {
+		err := fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+		l.checked[path] = nil
+		l.loadErrs["check:"+path] = err
+		return nil, err
+	}
+	pkg.Types = tp
+	pkg.Info = info
+	l.checked[path] = tp
+	return tp, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

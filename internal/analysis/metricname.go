@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// metricname pins the observability catalog contract from PR 6:
+// every series registered through internal/metrics carries the tc_
+// namespace prefix, the Prometheus unit suffix its type implies
+// (counters end in _total, latency histograms in _seconds), a
+// compile-time-constant name, and constant label keys — and each name
+// appears in the README metric catalog, so dashboards, the CI metric
+// asserts (grep '^tc_...' over /metrics scrapes) and the docs can
+// never drift apart. A dynamic name or label key would also be a
+// cardinality hazard: the registry renders every family it is ever
+// handed.
+
+// metricMethods maps each Registry registration method to the unit
+// suffix its metric type mandates ("" = no suffix constraint).
+var metricMethods = map[string]string{
+	"Counter":      "_total",
+	"CounterVec":   "_total",
+	"CounterFunc":  "_total",
+	"Gauge":        "",
+	"GaugeVec":     "",
+	"GaugeFunc":    "",
+	"Histogram":    "_seconds",
+	"HistogramVec": "_seconds",
+}
+
+// metricLabelStart gives the index of the first label-key argument
+// for the Vec registration methods.
+var metricLabelStart = map[string]int{
+	"CounterVec":   2,
+	"GaugeVec":     2,
+	"HistogramVec": 3, // (name, help, buckets, labels...)
+}
+
+// MetricName returns the metric-naming analyzer. catalog is the set
+// of metric names documented in the README; nil disables the
+// documentation cross-check.
+func MetricName(catalog map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name:      "metricname",
+		Doc:       "metrics registered via internal/metrics use constant tc_-prefixed names with _total/_seconds unit suffixes, constant label keys, and appear in the README catalog",
+		NeedTypes: true,
+		Run: func(pass *Pass) {
+			runMetricName(pass, catalog)
+		},
+	}
+}
+
+func runMetricName(pass *Pass, catalog map[string]bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := registryMethod(pass.Info, call)
+			if !ok {
+				return true
+			}
+			checkMetricCall(pass, call, method, catalog)
+			return true
+		})
+	}
+}
+
+// registryMethod reports whether call invokes a registration method
+// on *repro/internal/metrics.Registry, returning the method name.
+func registryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, tracked := metricMethods[sel.Sel.Name]; !tracked {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/metrics") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// constStringValue extracts an argument's compile-time string value.
+func constStringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkMetricCall applies the naming contract to one registration.
+func checkMetricCall(pass *Pass, call *ast.CallExpr, method string, catalog map[string]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	name, ok := constStringValue(pass.Info, call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name passed to Registry.%s must be a compile-time constant: dynamic names defeat the catalog and risk unbounded series cardinality", method)
+		return
+	}
+	if !strings.HasPrefix(name, "tc_") {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q lacks the tc_ namespace prefix every series of this system carries", name)
+	}
+	if suffix := metricMethods[method]; suffix != "" && !strings.HasSuffix(name, suffix) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q registered via Registry.%s must end in %q (the Prometheus unit suffix for its type)", name, method, suffix)
+	}
+	if start, isVec := metricLabelStart[method]; isVec {
+		if call.Ellipsis.IsValid() {
+			pass.Reportf(call.Ellipsis,
+				"label keys for metric %q must be spelled as constants at the registration site, not splatted from a slice", name)
+		}
+		for i := start; i < len(call.Args); i++ {
+			if _, ok := constStringValue(pass.Info, call.Args[i]); !ok {
+				pass.Reportf(call.Args[i].Pos(),
+					"label key %d of metric %q must be a compile-time constant: dynamic label keys are a series-cardinality hazard", i-start, name)
+			}
+		}
+	}
+	if catalog != nil && strings.HasPrefix(name, "tc_") && !catalog[name] {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q is not documented in the README metric catalog; add it so dashboards and CI asserts cannot drift", name)
+	}
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsTCVetClean runs the full suite over the real module —
+// the same gate cmd/tcvet gives CI, here so a plain `go test ./...`
+// catches an invariant violation (or a rotted suppression) before a
+// push. Skipped under -short: type-checking the tree from source
+// takes tens of seconds.
+func TestRepoIsTCVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree source type-check is slow; run without -short or use cmd/tcvet")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadAll found no packages")
+	}
+	catalog, err := MetricCatalogFromReadme(filepath.Join(l.Root, "README.md"))
+	if err != nil {
+		t.Fatalf("reading metric catalog: %v", err)
+	}
+	for _, pkg := range pkgs {
+		if err := l.Check(pkg); err != nil {
+			t.Errorf("type-check %s: %v", pkg.Path, err)
+		}
+	}
+	for _, d := range RunSuite(Suite(Options{MetricCatalog: catalog}), pkgs) {
+		t.Errorf("%s", d)
+	}
+}

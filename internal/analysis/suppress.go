@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. A finding is silenced by a comment naming
+// the analyzer and giving a reason:
+//
+//	resp, _ := c.Do(req) //tcvet:ignore draincloser ownership moves to the caller
+//
+// or, as a standalone comment, on the line directly above the
+// finding. A whole file is exempted with //tcvet:ignore-file. The
+// reason is not decoration: a directive without one is a finding, and
+// so is a directive that no longer suppresses anything — deleting a
+// load-bearing suppression or leaving a stale one both fail the gate.
+
+const (
+	directivePrefix     = "tcvet:ignore"
+	fileDirectivePrefix = "tcvet:ignore-file"
+)
+
+// directive is one parsed //tcvet:ignore[-file] comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	file     bool // tcvet:ignore-file
+	used     bool
+}
+
+// suppressions indexes one package's directives.
+type suppressions struct {
+	// line directives by (filename, line): a directive suppresses
+	// findings on its own line and on the line below it.
+	byLine map[string]map[int]*directive
+	// file directives by (filename, analyzer).
+	byFile map[string]map[string]*directive
+	all    []*directive
+}
+
+// collectSuppressions scans a package's comments for directives,
+// returning the index plus hygiene findings for malformed ones
+// (missing reason, unknown analyzer). Malformed directives are not
+// indexed — they never silence anything.
+func collectSuppressions(pkg *Package, known map[string]bool) (*suppressions, []Diagnostic) {
+	s := &suppressions{
+		byLine: map[string]map[int]*directive{},
+		byFile: map[string]map[string]*directive{},
+	}
+	var hygiene []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				isFile := strings.HasPrefix(text, fileDirectivePrefix)
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if isFile {
+					rest = strings.TrimPrefix(text, fileDirectivePrefix)
+				}
+				fields := strings.Fields(rest)
+				bad := func(msg string) {
+					hygiene = append(hygiene, Diagnostic{Pos: pos, Analyzer: "tcvet", Message: msg})
+				}
+				if len(fields) == 0 {
+					bad("suppression names no analyzer (want //" + directivePrefix + " <analyzer> <reason>)")
+					continue
+				}
+				if !known[fields[0]] {
+					bad("suppression names unknown analyzer " + fields[0])
+					continue
+				}
+				if len(fields) < 2 {
+					bad("suppression for " + fields[0] + " gives no reason; every suppression must say why the invariant is waived")
+					continue
+				}
+				d := &directive{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					file:     isFile,
+				}
+				s.all = append(s.all, d)
+				if isFile {
+					if s.byFile[pos.Filename] == nil {
+						s.byFile[pos.Filename] = map[string]*directive{}
+					}
+					s.byFile[pos.Filename][d.analyzer] = d
+					continue
+				}
+				if s.byLine[pos.Filename] == nil {
+					s.byLine[pos.Filename] = map[int]*directive{}
+				}
+				s.byLine[pos.Filename][pos.Line] = d
+			}
+		}
+	}
+	return s, hygiene
+}
+
+// suppress reports whether d is silenced by a directive, marking the
+// directive used.
+func (s *suppressions) suppress(d Diagnostic) bool {
+	if fd := s.byFile[d.Pos.Filename][d.Analyzer]; fd != nil {
+		fd.used = true
+		return true
+	}
+	lines := s.byLine[d.Pos.Filename]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if ld := lines[line]; ld != nil && ld.analyzer == d.Analyzer {
+			ld.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns a finding for every directive that silenced nothing.
+func (s *suppressions) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		if !d.used {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "tcvet",
+				Message:  "unused suppression for " + d.analyzer + " (no diagnostic to silence); delete it",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Fixture: the two response-body bugs — a never-closed body, and the
+// PR 8 keep-alive killer (Decode without draining the remainder).
+package draincloser
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func leak(c *http.Client) error {
+	resp, err := c.Get("http://peer/stats") // want "never closed"
+	if err != nil {
+		return err
+	}
+	var out map[string]int
+	return json.NewDecoder(resp.Body).Decode(&out) // want "keep-alive reuse dies"
+}
+
+func closedButUndrained(c *http.Client) error {
+	resp, err := c.Get("http://peer/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out map[string]int
+	return json.NewDecoder(resp.Body).Decode(&out) // want "keep-alive reuse dies"
+}

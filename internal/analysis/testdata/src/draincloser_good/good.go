@@ -1,0 +1,47 @@
+// Fixture: the sanctioned response-body patterns — close-and-drain
+// around a decoder, ReadAll (a full read), ownership transfer by
+// returning the response, and the caller-owns-Close parameter case.
+// No diagnostics expected.
+package draincloser
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func fetch(c *http.Client) (map[string]int, error) {
+	resp, err := c.Get("http://peer/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]int
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	io.Copy(io.Discard, resp.Body)
+	return out, err
+}
+
+func slurp(c *http.Client) ([]byte, error) {
+	resp, err := c.Get("http://peer/blob")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func handoff(c *http.Client) (*http.Response, error) {
+	resp, err := c.Get("http://peer/stream")
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func decodeParam(resp *http.Response) (map[string]int, error) {
+	var out map[string]int
+	err := json.NewDecoder(resp.Body).Decode(&out)
+	io.Copy(io.Discard, resp.Body)
+	return out, err
+}

@@ -1,0 +1,8 @@
+// Fixture: the cluster layer importing the serving layer above it —
+// the architecture inversion the rule forbids. Analyzed as
+// repro/internal/cluster.
+package cluster
+
+import (
+	_ "repro/internal/server" // want "must not import repro/internal/server"
+)

@@ -1,0 +1,7 @@
+// Fixture: the zero-dependency metrics exporter growing a module
+// dependency. Analyzed as repro/internal/metrics.
+package metrics
+
+import (
+	_ "repro/internal/relation" // want "must not import repro/internal/relation"
+)

@@ -1,0 +1,9 @@
+// Fixture: a binary using the sanctioned surfaces — the pkg/tcq
+// facade and an unrestricted internal helper. Analyzed as
+// repro/cmd/goodtool; no diagnostics expected.
+package main
+
+import (
+	_ "repro/internal/graph"
+	_ "repro/pkg/tcq"
+)

@@ -1,0 +1,16 @@
+// Fixture: bare wall-clock reads inside the breaker/retry package,
+// including through an import alias. Analyzed as
+// repro/internal/cluster.
+package cluster
+
+import (
+	"time"
+
+	wall "time"
+)
+
+func stamps() time.Time {
+	time.Sleep(time.Millisecond)   // want "bare time.Sleep"
+	<-time.After(time.Millisecond) // want "bare time.After"
+	return wall.Now()              // want "bare wall.Now"
+}

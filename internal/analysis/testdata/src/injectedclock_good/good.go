@@ -1,0 +1,19 @@
+// Fixture: the sanctioned patterns — an injected clock field for
+// reads, and time.NewTimer (the primitive sleepCtx is built on) for
+// waiting. Analyzed as repro/internal/cluster; no diagnostics
+// expected.
+package cluster
+
+import "time"
+
+type breaker struct {
+	clock func() time.Time
+}
+
+func (b *breaker) stamp() time.Time { return b.clock() }
+
+func wait(d time.Duration) {
+	timer := time.NewTimer(d)
+	<-timer.C
+	timer.Stop()
+}

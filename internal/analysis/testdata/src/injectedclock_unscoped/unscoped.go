@@ -1,0 +1,8 @@
+// Fixture: bare time.Now outside the scoped package. Analyzed as
+// repro/internal/server, where the clock-injection contract does not
+// apply; no diagnostics expected.
+package server
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,17 @@
+// Fixture: every way a metric registration can break the catalog
+// contract — missing namespace, missing unit suffix, dynamic name,
+// dynamic and splatted label keys, and an undocumented series.
+package metricfixture
+
+import "repro/internal/metrics"
+
+func register(reg *metrics.Registry, dyn string) {
+	reg.Counter("fixture_requests_total", "no namespace")         // want "lacks the tc_ namespace prefix"
+	reg.Counter("tc_fixture_requests", "no unit suffix")          // want "must end in \"_total\""
+	reg.Histogram("tc_fixture_latency_ms", "wrong unit", nil)     // want "must end in \"_seconds\""
+	reg.Gauge(dyn, "dynamic name")                                // want "must be a compile-time constant"
+	reg.CounterVec("tc_fixture_rpcs_total", "dynamic label", dyn) // want "label key 0"
+	labels := []string{"peer"}
+	reg.GaugeVec("tc_fixture_state", "splatted labels", labels...) // want "splatted from a slice" "label key 0"
+	reg.Gauge("tc_fixture_undocumented", "not in catalog")         // want "not documented in the README metric catalog"
+}

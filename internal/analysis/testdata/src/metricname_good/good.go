@@ -1,0 +1,16 @@
+// Fixture: compliant registrations — constant tc_-prefixed names
+// (literal and named constant), correct unit suffixes, constant label
+// keys, all present in the injected catalog. No diagnostics expected.
+package metricfixture
+
+import "repro/internal/metrics"
+
+const latencyName = "tc_fixture_step_seconds"
+
+func register(reg *metrics.Registry) {
+	reg.Counter("tc_fixture_requests_total", "requests served")
+	reg.Gauge("tc_fixture_peers", "live peers")
+	reg.Histogram(latencyName, "step latency", nil)
+	reg.HistogramVec("tc_fixture_rpc_seconds", "rpc latency", nil, "peer", "verb")
+	reg.CounterFunc("tc_fixture_evals_total", "evaluations", func() float64 { return 0 })
+}

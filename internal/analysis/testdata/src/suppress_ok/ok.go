@@ -1,0 +1,21 @@
+// Fixture: every suppression form doing its job — a same-line
+// directive, a line-above directive, and a whole-file exemption.
+// Analyzed as repro/internal/cluster; RunSuite must return nothing.
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+//tcvet:ignore-file typederr fixture: client-side file, errors never cross the wire
+
+func stamp() time.Time {
+	return time.Now() //tcvet:ignore injectedclock fixture: latency stamp, measurement not control flow
+}
+
+func above() error {
+	//tcvet:ignore injectedclock fixture: directive on the line above
+	t := time.Now()
+	return fmt.Errorf("at %v", t)
+}

@@ -1,0 +1,26 @@
+// Fixture: wire-boundary errors that escape the typed taxonomy — a
+// function-local errors.New and fmt.Errorf calls (including a
+// concatenated format) with no %w. Analyzed as repro/internal/cluster.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFixture is a package-level sentinel: minting here is legal.
+var ErrFixture = errors.New("fixture sentinel")
+
+func parse(v string) error {
+	if v == "" {
+		return errors.New("empty value") // want "unmatchable one-off"
+	}
+	if v == "?" {
+		return fmt.Errorf("bad "+"value %q", v) // want "without %w drops the typed taxonomy"
+	}
+	return fmt.Errorf("bad value %q", v) // want "without %w drops the typed taxonomy"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("parse: "+"%w", err)
+}

@@ -1,0 +1,15 @@
+// Fixture: the same shapes outside the wire-boundary packages.
+// Analyzed as repro/internal/graph; no diagnostics expected.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+func parse(v string) error {
+	if v == "" {
+		return errors.New("empty value")
+	}
+	return fmt.Errorf("bad value %q", v)
+}

@@ -42,7 +42,7 @@ type Node struct {
 // non-empty and unique; URLs must be absolute http(s) addresses.
 func ParsePeers(s string) ([]Node, error) {
 	if strings.TrimSpace(s) == "" {
-		return nil, fmt.Errorf("cluster: empty peer list")
+		return nil, fmt.Errorf("cluster: empty peer list: %w", ErrBadConfig)
 	}
 	var nodes []Node
 	seenID := map[string]bool{}
@@ -55,24 +55,24 @@ func ParsePeers(s string) ([]Node, error) {
 		id, addr, ok := strings.Cut(part, "=")
 		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
 		if !ok || id == "" || addr == "" {
-			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url): %w", part, ErrBadConfig)
 		}
 		u, err := url.Parse(addr)
 		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return nil, fmt.Errorf("cluster: bad peer URL %q (want http(s)://host:port)", addr)
+			return nil, fmt.Errorf("cluster: bad peer URL %q (want http(s)://host:port): %w", addr, ErrBadConfig)
 		}
 		if seenID[id] {
-			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+			return nil, fmt.Errorf("cluster: duplicate peer id %q: %w", id, ErrBadConfig)
 		}
 		if seenURL[addr] {
-			return nil, fmt.Errorf("cluster: duplicate peer URL %q", addr)
+			return nil, fmt.Errorf("cluster: duplicate peer URL %q: %w", addr, ErrBadConfig)
 		}
 		seenID[id] = true
 		seenURL[addr] = true
 		nodes = append(nodes, Node{ID: id, URL: strings.TrimRight(addr, "/")})
 	}
 	if len(nodes) == 0 {
-		return nil, fmt.Errorf("cluster: empty peer list")
+		return nil, fmt.Errorf("cluster: empty peer list: %w", ErrBadConfig)
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 	return nodes, nil
@@ -125,7 +125,7 @@ type Coordinator struct {
 // New validates the membership and builds the coordinator.
 func New(cfg Config) (*Coordinator, error) {
 	if len(cfg.Peers) == 0 {
-		return nil, fmt.Errorf("cluster: no peers configured")
+		return nil, fmt.Errorf("cluster: no peers configured: %w", ErrBadConfig)
 	}
 	if cfg.VirtualNodes <= 0 {
 		cfg.VirtualNodes = 64
@@ -134,7 +134,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg.Timeout = 5 * time.Second
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		cfg.Clock = time.Now //tcvet:ignore injectedclock the default wiring that SELECTS the wall clock when none is injected
 	}
 	nodes := append([]Node(nil), cfg.Peers...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
@@ -150,14 +150,14 @@ func New(cfg Config) (*Coordinator, error) {
 	selfIdx := -1
 	for i, n := range nodes {
 		if i > 0 && nodes[i-1].ID == n.ID {
-			return nil, fmt.Errorf("cluster: duplicate peer id %q", n.ID)
+			return nil, fmt.Errorf("cluster: duplicate peer id %q: %w", n.ID, ErrBadConfig)
 		}
 		if n.ID == cfg.NodeID {
 			selfIdx = i
 		}
 	}
 	if selfIdx < 0 {
-		return nil, fmt.Errorf("cluster: node id %q not in peer list", cfg.NodeID)
+		return nil, fmt.Errorf("cluster: node id %q not in peer list: %w", cfg.NodeID, ErrBadConfig)
 	}
 	c.self = nodes[selfIdx]
 	newTransport := cfg.NewTransport

@@ -32,6 +32,12 @@ var (
 	// ErrPeerDown, so callers that only know the PR 7 taxonomy (502
 	// mapping, fallback eligibility) need no new case.
 	ErrBreakerOpen = errors.New("cluster peer breaker open")
+	// ErrBadConfig reports invalid cluster configuration: a malformed
+	// -peers or -fault-script flag, or a membership New refuses to
+	// build. It never crosses the wire — it fails process startup —
+	// but wrapping it keeps every error this package returns matchable
+	// with errors.Is.
+	ErrBadConfig = errors.New("bad cluster configuration")
 )
 
 // FallbackEligible reports whether a leg error permits degraded-mode

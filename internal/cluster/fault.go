@@ -59,7 +59,7 @@ type FaultScript map[string][]FaultStep
 //	"c:slow=100ms*2,timeout,ok" — two slow RPCs, one timeout, then healthy
 func ParseFaultScript(s string) (FaultScript, error) {
 	if strings.TrimSpace(s) == "" {
-		return nil, fmt.Errorf("cluster: empty fault script")
+		return nil, fmt.Errorf("cluster: empty fault script: %w", ErrBadConfig)
 	}
 	script := FaultScript{}
 	for _, peerPart := range strings.Split(s, ";") {
@@ -70,10 +70,10 @@ func ParseFaultScript(s string) (FaultScript, error) {
 		peer, stepsStr, ok := strings.Cut(peerPart, ":")
 		peer = strings.TrimSpace(peer)
 		if !ok || peer == "" {
-			return nil, fmt.Errorf("cluster: bad fault script entry %q (want peer:steps)", peerPart)
+			return nil, fmt.Errorf("cluster: bad fault script entry %q (want peer:steps): %w", peerPart, ErrBadConfig)
 		}
 		if _, dup := script[peer]; dup {
-			return nil, fmt.Errorf("cluster: duplicate fault script peer %q", peer)
+			return nil, fmt.Errorf("cluster: duplicate fault script peer %q: %w", peer, ErrBadConfig)
 		}
 		var steps []FaultStep
 		for _, stepStr := range strings.Split(stepsStr, ",") {
@@ -88,12 +88,12 @@ func ParseFaultScript(s string) (FaultScript, error) {
 			steps = append(steps, step)
 		}
 		if len(steps) == 0 {
-			return nil, fmt.Errorf("cluster: fault script peer %q has no steps", peer)
+			return nil, fmt.Errorf("cluster: fault script peer %q has no steps: %w", peer, ErrBadConfig)
 		}
 		script[peer] = steps
 	}
 	if len(script) == 0 {
-		return nil, fmt.Errorf("cluster: empty fault script")
+		return nil, fmt.Errorf("cluster: empty fault script: %w", ErrBadConfig)
 	}
 	return script, nil
 }
@@ -108,7 +108,7 @@ func parseFaultStep(s string) (FaultStep, error) {
 		} else {
 			n, err := strconv.Atoi(rep)
 			if err != nil || n <= 0 {
-				return FaultStep{}, fmt.Errorf("cluster: bad fault step repeat %q (want *N or *)", rep)
+				return FaultStep{}, fmt.Errorf("cluster: bad fault step repeat %q (want *N or *): %w", rep, ErrBadConfig)
 			}
 			step.Count = n
 		}
@@ -123,12 +123,12 @@ func parseFaultStep(s string) (FaultStep, error) {
 	case strings.HasPrefix(s, "slow="):
 		d, err := time.ParseDuration(strings.TrimPrefix(s, "slow="))
 		if err != nil || d < 0 {
-			return FaultStep{}, fmt.Errorf("cluster: bad fault step delay %q", s)
+			return FaultStep{}, fmt.Errorf("cluster: bad fault step delay %q: %w", s, ErrBadConfig)
 		}
 		step.Action = FaultSlow
 		step.Delay = d
 	default:
-		return FaultStep{}, fmt.Errorf("cluster: bad fault step %q (want ok|down|timeout|slow=DUR)", s)
+		return FaultStep{}, fmt.Errorf("cluster: bad fault step %q (want ok|down|timeout|slow=DUR): %w", s, ErrBadConfig)
 	}
 	return step, nil
 }

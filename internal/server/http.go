@@ -115,11 +115,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func parsePair(r *http.Request) (graph.NodeID, graph.NodeID, error) {
 	src, err := strconv.Atoi(r.URL.Query().Get("src"))
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad or missing src: %v", err)
+		return 0, 0, fmt.Errorf("%w: bad or missing src: %v", tcq.ErrInvalidRequest, err)
 	}
 	dst, err := strconv.Atoi(r.URL.Query().Get("dst"))
 	if err != nil {
-		return 0, 0, fmt.Errorf("bad or missing dst: %v", err)
+		return 0, 0, fmt.Errorf("%w: bad or missing dst: %v", tcq.ErrInvalidRequest, err)
 	}
 	return graph.NodeID(src), graph.NodeID(dst), nil
 }
@@ -195,7 +195,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			engine = tcq.EngineDijkstra
 		}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want pooled or pipelined)", mode))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown mode %q (want pooled or pipelined)", tcq.ErrInvalidRequest, mode))
 		return
 	}
 	res, err := s.facade.Query(r.Context(), tcq.Request{
@@ -269,7 +269,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %v", err))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: bad update body: %v", tcq.ErrInvalidRequest, err))
 		return
 	}
 	e := graph.Edge{From: graph.NodeID(req.From), To: graph.NodeID(req.To), Weight: req.Weight}
@@ -287,7 +287,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	case "delete":
 		stats, err = s.DeleteEdge(req.Fragment, e)
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown op %q (want insert or delete)", req.Op))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown op %q (want insert or delete)", tcq.ErrInvalidRequest, req.Op))
 		return
 	}
 	if err != nil {

@@ -19,6 +19,8 @@ import (
 	"repro/internal/metrics"
 )
 
+//tcvet:ignore-file typederr client-side load driver: its errors surface in run reports, never in wire envelopes or errors.Is dispatch
+
 // LoadConfig parameterises one load-generation run against a running
 // tcserver — the repository's counterpart of a parallel benchmark
 // query driver: N workers firing source/target queries, random or
@@ -586,7 +588,11 @@ func fetchStats(client *http.Client, baseURL string) (*Stats, error) {
 		return nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
 	var st Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	// Drain what the decoder left so the connection stays reusable
+	// (the PR 8 keep-alive lesson, now enforced by tcvet draincloser).
+	io.Copy(io.Discard, resp.Body)
+	if err != nil {
 		return nil, err
 	}
 	return &st, nil

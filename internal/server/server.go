@@ -80,7 +80,7 @@ type Server struct {
 // New deploys a server over a built store, wrapping it in a dataset.
 func New(st *dsa.Store, cfg Config) (*Server, error) {
 	if st == nil {
-		return nil, fmt.Errorf("server: nil store")
+		return nil, fmt.Errorf("server: nil store") //tcvet:ignore typederr constructor misuse guard; fails startup, never crosses the wire
 	}
 	ds, err := tcq.OpenDataset(st)
 	if err != nil {
@@ -96,7 +96,7 @@ func New(st *dsa.Store, cfg Config) (*Server, error) {
 // keep the leg cache coherent.
 func NewDataset(ds *tcq.Dataset, cfg Config) (*Server, error) {
 	if ds == nil {
-		return nil, fmt.Errorf("server: nil dataset")
+		return nil, fmt.Errorf("server: nil dataset") //tcvet:ignore typederr constructor misuse guard; fails startup, never crosses the wire
 	}
 	if !cfg.DefaultEngine.Valid() {
 		return nil, fmt.Errorf("server: %w %d", dsa.ErrUnknownEngine, int(cfg.DefaultEngine))

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# The consolidated lint gate: one entry point for every static check,
+# identical locally and in CI.
+#
+#   gofmt       formatting (fails listing the offending files)
+#   go vet      the stock correctness checks
+#   staticcheck honnef.co analyses (skipped locally when the binary is
+#               absent; REQUIRED in CI, where the workflow installs it)
+#   tcvet       the project-invariant analyzer suite (cmd/tcvet):
+#               layering, injected clocks, drained response bodies,
+#               typed wire errors, the metric catalog
+#
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "$unformatted"
+    echo "FAIL: gofmt the files above"
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif [ -n "${CI:-}" ]; then
+    echo "FAIL: staticcheck is required in CI but is not installed"
+    exit 1
+else
+    echo "skipped (staticcheck not installed; CI runs it)"
+fi
+
+echo "== tcvet"
+go run ./cmd/tcvet
+
+echo "lint: all checks passed"
