@@ -24,8 +24,9 @@ import (
 func main() {
 	var (
 		table      = flag.String("table", "", "table to reproduce: 1, 2, 3 (empty = all)")
-		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving, updates, cluster (empty = all)")
-		jsonPath   = flag.String("json", "", "write the experiment result as JSON to this file (updates and cluster experiments)")
+		experiment = flag.String("experiment", "", "experiment: speedup, iterations, fig8, phe, impact, amortize, kconn, ablation, engines, cost, serving, updates, cluster, coldstart (empty = all)")
+		jsonPath   = flag.String("json", "", "write the experiment result as JSON to this file (updates, cluster and coldstart experiments)")
+		edges      = flag.Int("edges", 1_200_000, "directed-edge target for the coldstart experiment")
 		trials     = flag.Int("trials", 10, "random graphs per table")
 		queries    = flag.Int("queries", 20, "queries per performance point")
 		sources    = flag.Int("sources", 2, "entry-set size for the engines and cost experiments")
@@ -150,6 +151,20 @@ func main() {
 			}
 			return formatter{r.Format}, nil
 		})
+		// coldstart generates a million-edge road network and is only
+		// run when asked for by name, never as part of "all".
+		if *experiment == "coldstart" {
+			r, err := bench.Coldstart(*edges, *queries, *seed)
+			if err != nil {
+				fatal(fmt.Errorf("coldstart: %v", err))
+			}
+			if *jsonPath != "" {
+				if err := writeResultJSON(*jsonPath, r); err != nil {
+					fatal(fmt.Errorf("coldstart: %v", err))
+				}
+			}
+			fmt.Println(r.Format())
+		}
 		run("ablation", func() (fmt.Stringer, error) {
 			var s string
 			for _, f := range []func(int, int64) (*bench.Ablation, error){

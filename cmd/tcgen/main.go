@@ -1,35 +1,52 @@
-// Command tcgen generates the random test graphs of ICDE'93 §4.1 and
-// writes them in the text format the other tools consume.
+// Command tcgen generates the random test graphs of ICDE'93 §4.1 —
+// plus the road-network family the persistence layer targets — and
+// writes them in the formats the other tools consume.
 //
 // Usage:
 //
 //	tcgen -type transport -clusters 4 -nodes 25 -o graph.txt
 //	tcgen -type general -nodes 100 -degree 2.8 -seed 7 -o graph.txt
+//	tcgen -type road -clusters 4 -nodes 25 -gateways 2 -o road.graph -frag-o road.frags
+//	tcgen -type road -edges 1200000 -o road.tcs -frag-o road.frags
 //
-// -nodes is the per-cluster node count for transportation graphs and
-// the total for general graphs. -degree targets the average undirected
-// degree (the generator's c1 is derived from it; see
+// -nodes is the per-cluster node count for transportation and road
+// graphs and the total for general graphs. -degree targets the average
+// undirected degree (the generator's c1 is derived from it; see
 // gen.DefaultsWithDegree).
+//
+// Road graphs come with their natural fragmentation (one fragment per
+// city): -frag-o writes it in the text format fragment.Read consumes.
+// When -o ends in ".tcs" the graph is preprocessed (the disconnection
+// set build) and written as a binary TCSF snapshot instead of text, so
+// a server can cold-start from it without re-running the build.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"repro/internal/fragment"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/pkg/tcq"
 )
 
 func main() {
 	var (
-		typ      = flag.String("type", "transport", "graph family: transport or general")
-		clusters = flag.Int("clusters", 4, "number of clusters (transport)")
-		nodes    = flag.Int("nodes", 25, "nodes per cluster (transport) or total (general)")
+		typ      = flag.String("type", "transport", "graph family: transport, general or road")
+		clusters = flag.Int("clusters", 4, "number of clusters (transport, road)")
+		nodes    = flag.Int("nodes", 25, "nodes per cluster (transport, road) or total (general)")
 		degree   = flag.Float64("degree", 4.5, "target average undirected degree")
+		gateways = flag.Int("gateways", 2, "highway connections between adjacent cities (road)")
+		edges    = flag.Int("edges", 0, "directed-edge target for road graphs (overrides -clusters/-nodes)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		unit     = flag.Bool("unit-weights", false, "unit edge costs instead of Euclidean distances")
-		out      = flag.String("o", "", "output file (default stdout)")
+		out      = flag.String("o", "", "output file (default stdout); a .tcs suffix writes a TCSF snapshot (road)")
+		fragOut  = flag.String("frag-o", "", "write the fragmentation to this file (road)")
 	)
 	flag.Parse()
 
@@ -37,34 +54,110 @@ func main() {
 	cfg.UnitWeights = *unit
 
 	var (
-		g   *graph.Graph
-		err error
+		g    *graph.Graph
+		sets [][]graph.Edge
+		err  error
 	)
 	switch *typ {
 	case "transport":
 		g, err = gen.Transportation(gen.TransportConfig{Clusters: *clusters, Cluster: cfg})
 	case "general":
 		g, err = gen.General(cfg)
+	case "road":
+		rcfg := gen.RoadConfig{
+			Clusters:     *clusters,
+			ClusterWidth: sideFor(*nodes), ClusterHeight: sideFor(*nodes),
+			Gateways:     *gateways,
+			DiagonalProb: 0.05,
+			Seed:         *seed,
+		}
+		if *edges > 0 {
+			rcfg = gen.RoadConfigForEdges(*edges, *seed)
+		}
+		g, sets, err = gen.RoadNetwork(rcfg)
 	default:
-		err = fmt.Errorf("unknown -type %q (want transport or general)", *typ)
+		err = fmt.Errorf("unknown -type %q (want transport, general or road)", *typ)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	var fr *fragment.Fragmentation
+	if sets != nil {
+		if fr, err = fragment.New(g, sets); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *fragOut != "" {
+		if fr == nil {
+			fatal(fmt.Errorf("-frag-o requires -type road"))
+		}
+		if err := writeTo(*fragOut, fr.Write); err != nil {
+			fatal(err)
+		}
+	}
+
+	if strings.HasSuffix(*out, ".tcs") {
+		if fr == nil {
+			fatal(fmt.Errorf("snapshot output requires -type road"))
+		}
+		st, err := tcq.BuildStore(fr, tcq.BuildOptions{})
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		ds, err := tcq.OpenDataset(st)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := tcq.SaveSnapshot(*out, ds.Snapshot())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %s, snapshot %s (%.1f MiB)\n", g, *out, float64(n)/(1<<20))
+		return
 	}
-	if err := g.Write(w); err != nil {
+
+	if err := writeTo(*out, g.Write); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "generated %s (diameter %d)\n", g, g.Diameter())
+	if fr != nil {
+		fmt.Fprintf(os.Stderr, "generated %s (%d fragments)\n", g, fr.NumFragments())
+	} else {
+		fmt.Fprintf(os.Stderr, "generated %s (diameter %d)\n", g, g.Diameter())
+	}
+}
+
+// sideFor returns the smallest square-city side covering the requested
+// per-cluster node count.
+func sideFor(nodes int) int {
+	side := 2
+	for side*side < nodes {
+		side++
+	}
+	return side
+}
+
+// writeTo streams one text artifact to path, or stdout when path is
+// empty.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

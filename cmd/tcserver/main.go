@@ -66,6 +66,9 @@ func main() {
 		cacheCap  = flag.Int("cache", 1024, "leg-result cache capacity in entries (0 disables)")
 		workers   = flag.Int("site-workers", 1, "worker goroutines per site")
 		maxChains = flag.Int("max-chains", 0, "bound chain enumeration (0 = unlimited)")
+		storeDir  = flag.String("store", "", "durable store directory: applies are journaled and checkpointed; recovered on boot when it already holds state")
+		tcsFile   = flag.String("tcs", "", "cold-start from this TCSF snapshot file (alternative to text input or generation)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "journaled batches between automatic checkpoints (0 = store default, negative = never)")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ for live profiling")
 		nodeID    = flag.String("node-id", "", "this node's ID in a multi-node cluster (requires -peers)")
 		peers     = flag.String("peers", "", "static cluster membership as id=url pairs, e.g. a=http://h1:8642,b=http://h2:8642 (this node included)")
@@ -88,20 +91,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fr, err := loadFragmentation(*graphFile, *fragFile, *grid, *frags, *diag, *seed)
-	if err != nil {
-		fatal(err)
+	// Three boot paths, in priority order: recover a durable store
+	// directory; cold-start from a TCSF snapshot file; parse text (or
+	// generate) and run the preprocessing build. The first is the
+	// restart path — it alone reaches the exact epoch of every
+	// acknowledged update. The latter two seed -store when it is named
+	// but empty, so the next restart takes the first path.
+	var ds *tcq.Dataset
+	bootStart := time.Now()
+	switch {
+	case *storeDir != "" && tcq.HasStore(*storeDir):
+		var info tcq.PersistInfo
+		ds, info, err = tcq.OpenStore(*storeDir, tcq.PersistOptions{CheckpointEvery: *ckptEvery})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tcserver: recovered %s in %v: checkpoint epoch %d + %d journal records -> epoch %d (torn tail: %v)\n",
+			*storeDir, time.Since(bootStart).Round(time.Millisecond),
+			info.CheckpointEpoch, info.ReplayedRecords, info.Epoch, info.TornTail)
+	case *tcsFile != "":
+		ds, err = tcq.LoadSnapshot(*tcsFile)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tcserver: loaded snapshot %s in %v\n",
+			*tcsFile, time.Since(bootStart).Round(time.Millisecond))
+		if ds, err = attachStore(ds, *storeDir, *ckptEvery); err != nil {
+			fatal(err)
+		}
+	default:
+		fr, err := loadFragmentation(*graphFile, *fragFile, *grid, *frags, *diag, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err = tcq.NewDataset(fr, tcq.BuildOptions{MaxChains: *maxChains, Problem: prob})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tcserver: store built in %v\n",
+			time.Since(bootStart).Round(time.Millisecond))
+		if ds, err = attachStore(ds, *storeDir, *ckptEvery); err != nil {
+			fatal(err)
+		}
 	}
-
-	buildStart := time.Now()
-	ds, err := tcq.NewDataset(fr, tcq.BuildOptions{MaxChains: *maxChains, Problem: prob})
-	if err != nil {
-		fatal(err)
-	}
+	defer ds.Close()
 	snap := ds.Snapshot()
 	prep := snap.Preprocessing()
-	fmt.Fprintf(os.Stderr, "tcserver: store built in %v: %d sites, %d disconnection sets, %d complementary facts, loosely connected: %v\n",
-		time.Since(buildStart).Round(time.Millisecond), snap.Stats().Sites,
+	fmt.Fprintf(os.Stderr, "tcserver: deployed epoch %d: %d sites, %d disconnection sets, %d complementary facts, loosely connected: %v\n",
+		snap.Epoch(), snap.Stats().Sites,
 		prep.DisconnectionSets, prep.PairsStored, snap.Stats().LooselyConnected)
 
 	coord, err := buildCluster(clusterFlags{
@@ -164,7 +201,34 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
+		// A clean shutdown checkpoints the current generation so the
+		// next boot is replay-free; a crash falls back to checkpoint +
+		// journal replay.
+		if ds.Persistent() {
+			if err := ds.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "tcserver: shutdown checkpoint:", err)
+			}
+		}
 	}
+}
+
+// attachStore makes a freshly built or snapshot-loaded dataset
+// durable: it seeds dir with a checkpoint of the dataset's current
+// generation and reopens through the store, so every subsequent apply
+// is journaled before it is acknowledged. No-op when dir is empty.
+func attachStore(ds *tcq.Dataset, dir string, ckptEvery int) (*tcq.Dataset, error) {
+	if dir == "" {
+		return ds, nil
+	}
+	if err := tcq.InitStore(dir, ds.Snapshot()); err != nil {
+		return nil, err
+	}
+	d, info, err := tcq.OpenStore(dir, tcq.PersistOptions{CheckpointEvery: ckptEvery})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "tcserver: store directory %s initialised at epoch %d\n", dir, info.Epoch)
+	return d, nil
 }
 
 // loadFragmentation builds the deployment input either from files or

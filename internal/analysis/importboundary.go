@@ -41,8 +41,16 @@ var boundaryRules = []boundaryRule{
 			"repro/internal/bench",   // benchmarks measure the planner directly
 			"repro/internal/phe",     // paper-era harness predating the facade
 			"repro/internal/sim",     // paper-era harness predating the facade
+			"repro/internal/store",   // (de)serializes built stores CSR-natively
 		},
 		why: "the planner is internal; binaries and examples go through pkg/tcq (PR 4 removed every other import)",
+	},
+	{
+		target: "repro/internal/store",
+		allowed: []string{
+			"repro/pkg/tcq", // the persistence facade (snapshots, durable applies)
+		},
+		why: "the persistence subsystem is reached through pkg/tcq's snapshot and store API; direct use would bypass the journal ordering the facade enforces",
 	},
 	{
 		target: "repro/internal/server",

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -190,6 +191,13 @@ func (l *Loader) parseDirAs(dir, path string) (*Package, error) {
 	for _, e := range entries {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _goos/_goarch
+		// file suffixes) for the host platform, exactly like the real
+		// build: per-platform variants of one symbol would otherwise
+		// type-check as redeclarations.
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

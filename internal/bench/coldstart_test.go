@@ -1,0 +1,14 @@
+package bench
+
+import "testing"
+
+func TestColdstartSmallSmoke(t *testing.T) {
+	r, err := Coldstart(5000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DirectedEdges < 5000 || r.VerifiedQueries != 10 {
+		t.Fatalf("%+v", r)
+	}
+	t.Log(r.Format())
+}

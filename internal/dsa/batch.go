@@ -278,13 +278,14 @@ func (st *Store) Apply(ctx context.Context, ops []EdgeOp) (*Store, BatchStats, e
 			DisconnectionSets: len(dss),
 		},
 	}
+	shared := fr.SharedNodes()
 	for _, f := range fr.Fragments() {
 		var site *Site
 		if !changed[f.ID] && siteCompUnchanged(st.sites[f.ID], f.ID, comp) {
 			site = st.sites[f.ID]
 			stats.SitesShared++
 		} else {
-			site = buildSite(f, newBase, comp)
+			site = buildSite(f, newBase, shared, comp)
 			stats.SitesRebuilt = append(stats.SitesRebuilt, f.ID)
 			// Pre-warm the dense CSR snapshot on the write path when the
 			// superseded site had one: readers on the new epoch then

@@ -437,14 +437,14 @@ func (st *Store) ExecuteLegFullCtx(ctx context.Context, siteID int, entry []grap
 	case EngineSemiNaive:
 		// ShortestFrom already returns a freshly owned (src, dst, cost)
 		// relation; adopt it instead of copying.
-		rel, s, err := tc.ShortestFromCtx(ctx, site.localRel, entry)
+		rel, s, err := tc.ShortestFromCtx(ctx, site.rel(), entry)
 		if err != nil {
 			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %w", site.ID, err)
 		}
 		stats = s
 		full = rel
 	case EngineBitset:
-		pairs, s, err := tc.BitsetReachableFromCtx(ctx, site.localRel, entry)
+		pairs, s, err := tc.BitsetReachableFromCtx(ctx, site.rel(), entry)
 		if err != nil {
 			return nil, tc.Stats{}, fmt.Errorf("dsa: site %d leg: %w", site.ID, err)
 		}

@@ -1,0 +1,113 @@
+package dsa
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fragment"
+	"repro/internal/tc"
+)
+
+// This file is the persistence seam of the planner: the accessors and
+// the trusted constructor the binary snapshot store (internal/store)
+// needs to serialize a built Store and rebuild it on cold start
+// without re-running the global preprocessing searches — the whole
+// point of a snapshot is that computeComp's Dijkstra/BFS fan-out, the
+// dominant cost of Build, is already paid and its result (the
+// complementary tables) is small and serializable.
+
+// MaxChains returns the chain-enumeration bound the store was built
+// with (0 = unlimited).
+func (st *Store) MaxChains() int { return st.maxChains }
+
+// CompTables returns the complementary tables of every non-empty
+// disconnection set, keyed by the normalised pair. The tables are
+// shared with the sites (each DS is deployed at both member sites);
+// treat them as read-only.
+func (st *Store) CompTables() map[fragment.Pair]*CompInfo {
+	out := make(map[fragment.Pair]*CompInfo)
+	for _, s := range st.sites {
+		for p, ci := range s.Comp {
+			out[p] = ci
+		}
+	}
+	return out
+}
+
+// Restore rebuilds a deployed Store from previously computed parts: a
+// fragmentation, the complementary tables, the build options, and the
+// epoch and preprocessing report the snapshot carried. It runs no
+// global searches — sites are reconstructed from the fragments and the
+// given tables, fanned out over GOMAXPROCS goroutines — so restoring
+// is O(per-site subgraph construction), not O(preprocessing).
+//
+// The caller vouches that comp matches the fragmentation (snapshot
+// loaders verify a checksum before calling); tables for pairs that
+// name no fragment are ignored, exactly as buildSite filters.
+func Restore(fr *fragment.Fragmentation, comp map[fragment.Pair]*CompInfo, opt Options, epoch uint64, prep PreprocessStats) (*Store, error) {
+	if fr == nil {
+		return nil, fmt.Errorf("dsa: nil fragmentation")
+	}
+	if opt.MaxChains < 0 {
+		return nil, fmt.Errorf("dsa: MaxChains must be non-negative, got %d", opt.MaxChains)
+	}
+	if opt.Problem != ProblemShortestPath && opt.Problem != ProblemReachability {
+		return nil, fmt.Errorf("dsa: %w %d", ErrUnknownProblem, opt.Problem)
+	}
+	st := &Store{
+		fr:        fr,
+		fg:        fr.FragmentationGraph(),
+		maxChains: opt.MaxChains,
+		problem:   opt.Problem,
+		epoch:     epoch,
+		prep:      prep,
+	}
+	base := fr.Base()
+	frags := fr.Fragments()
+	shared := fr.SharedNodes()
+	st.sites = make([]*Site, len(frags))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(frags) {
+		workers = len(frags)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frags) {
+					return
+				}
+				st.sites[i] = buildSite(frags[i], base, shared, comp)
+			}
+		}()
+	}
+	wg.Wait()
+	return st, nil
+}
+
+// DenseKernel returns the site's dense CSR kernel, building it on
+// first use — the exported face of denseKernel for the snapshot
+// writer, which persists the kernel so restored deployments skip the
+// interning work. The memoized per-site build error (e.g. negative
+// edge weights) is surfaced unchanged.
+func (s *Site) DenseKernel() (*tc.DenseGraph, error) { return s.denseKernel() }
+
+// PrimeDense injects a prebuilt dense CSR kernel into the site, so a
+// restored deployment answers dense-engine queries without re-interning
+// the augmented relation. A no-op if the kernel was already built (or
+// primed); nil kernels are ignored.
+func (s *Site) PrimeDense(d *tc.DenseGraph) {
+	if d == nil {
+		return
+	}
+	s.denseOnce.Do(func() {
+		s.dense = d
+		s.densePrimed.Store(true)
+	})
+}

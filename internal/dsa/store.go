@@ -82,7 +82,12 @@ type Site struct {
 	// searches run on it.
 	augmented *graph.Graph
 	// localRel is the augmented subgraph as an edge relation, for the
-	// semi-naive local engine.
+	// semi-naive and bitset local engines. It is built lazily on first
+	// use (relOnce): boxing every edge into relational tuples is pure
+	// overhead for sites only ever queried through the graph-backed
+	// Dijkstra engine or a restored dense kernel, and skipping it keeps
+	// both Build and the snapshot-restore path off the hot boot path.
+	relOnce  sync.Once
 	localRel *relation.Relation
 	// dense is the CSR snapshot of localRel the dense cost engine runs
 	// on, built lazily once per deployment (updates rebuild the sites,
@@ -101,10 +106,19 @@ type Site struct {
 // is memoized and surfaced per query, exactly like the semi-naive
 // engine's refusal (a worker-goroutine panic would kill the serving
 // daemon).
+// rel returns the augmented subgraph as an edge relation, building it
+// on first use. Safe for concurrent callers (sync.Once).
+func (s *Site) rel() *relation.Relation {
+	s.relOnce.Do(func() {
+		s.localRel = relation.FromGraph(s.augmented)
+	})
+	return s.localRel
+}
+
 func (s *Site) denseKernel() (*tc.DenseGraph, error) {
 	s.denseOnce.Do(func() {
 		defer s.densePrimed.Store(true)
-		d, err := tc.NewDenseGraph(s.localRel)
+		d, err := tc.NewDenseGraph(s.rel())
 		if err != nil {
 			s.denseErr = fmt.Errorf("dsa: site %d dense snapshot: %v", s.ID, err)
 			return
@@ -240,8 +254,9 @@ func Build(fr *fragment.Fragmentation, opt Options) (*Store, error) {
 	}
 	st.prep.DijkstraRuns = runs
 
+	shared := fr.SharedNodes()
 	for _, f := range fr.Fragments() {
-		site := buildSite(f, base, comp)
+		site := buildSite(f, base, shared, comp)
 		for _, ci := range site.Comp {
 			st.prep.PairsStored += len(ci.Cost)
 		}
@@ -331,15 +346,17 @@ func computeComp(ctx context.Context, base *graph.Graph, dss map[fragment.Pair][
 
 // buildSite constructs one deployed site: the fragment's induced
 // subgraph, the complementary tables involving it, and the augmented
-// search graph (local edges plus complementary shortcuts).
-func buildSite(f *fragment.Fragment, base *graph.Graph, comp map[fragment.Pair]*CompInfo) *Site {
+// search graph (local edges plus complementary shortcuts). shared is
+// the fragmentation's disconnection-set node set (fr.SharedNodes),
+// computed once by the caller and reused across all sites.
+func buildSite(f *fragment.Fragment, base *graph.Graph, shared map[graph.NodeID]bool, comp map[fragment.Pair]*CompInfo) *Site {
 	site := &Site{
 		ID:    f.ID,
 		Frag:  f,
-		Local: f.Subgraph(base),
+		Local: localGraph(f, base, shared),
 		Comp:  make(map[fragment.Pair]*CompInfo),
 	}
-	site.augmented = site.Local.Clone()
+	site.augmented = site.Local.CloneShared()
 	for p, ci := range comp {
 		if p.I != f.ID && p.J != f.ID {
 			continue
@@ -349,9 +366,48 @@ func buildSite(f *fragment.Fragment, base *graph.Graph, comp map[fragment.Pair]*
 			site.augmented.AddEdge(e)
 		}
 	}
-	site.localRel = relation.FromGraph(site.augmented)
 	return site
 }
+
+// localGraph materialises the fragment's induced subgraph G_i without
+// pushing every edge through a per-edge map append. A node private to
+// the fragment has all of its base-graph edges inside the fragment
+// (fragments partition the edge set), so its adjacency lists are the
+// base graph's, shared wholesale; only the disconnection-set nodes,
+// whose base adjacency spans fragments, get filtered lists rebuilt
+// from the fragment's edges. Sharing is safe because adjacency lists
+// are immutable once installed (see graph.InstallNode); the length
+// clamps keep a stray append from ever spilling into a shared backing
+// array.
+func localGraph(f *fragment.Fragment, base *graph.Graph, shared map[graph.NodeID]bool) *graph.Graph {
+	var bOut, bIn map[graph.NodeID][]graph.Edge
+	for _, e := range f.Edges {
+		if shared[e.From] {
+			if bOut == nil {
+				bOut = make(map[graph.NodeID][]graph.Edge)
+			}
+			bOut[e.From] = append(bOut[e.From], e)
+		}
+		if shared[e.To] {
+			if bIn == nil {
+				bIn = make(map[graph.NodeID][]graph.Edge)
+			}
+			bIn[e.To] = append(bIn[e.To], e)
+		}
+	}
+	local := graph.NewWithCapacity(f.NumNodes())
+	f.EachNode(func(id graph.NodeID) {
+		if shared[id] {
+			local.InstallNode(id, base.Coord(id), clampEdges(bOut[id]), clampEdges(bIn[id]))
+		} else {
+			local.InstallNode(id, base.Coord(id), clampEdges(base.Out(id)), clampEdges(base.In(id)))
+		}
+	})
+	return local
+}
+
+// clampEdges caps a slice's capacity at its length.
+func clampEdges(es []graph.Edge) []graph.Edge { return es[:len(es):len(es)] }
 
 // Fragmentation returns the deployed fragmentation.
 func (st *Store) Fragmentation() *fragment.Fragmentation { return st.fr }

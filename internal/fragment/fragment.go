@@ -74,6 +74,15 @@ func (f *Fragment) Nodes() []graph.NodeID {
 // NumNodes returns |V_i|.
 func (f *Fragment) NumNodes() int { return len(f.nodes) }
 
+// EachNode calls fn for every node of the induced node set, in
+// arbitrary order — the allocation-free counterpart of Nodes for bulk
+// callers that do not need the sorted order.
+func (f *Fragment) EachNode(fn func(graph.NodeID)) {
+	for id := range f.nodes {
+		fn(id)
+	}
+}
+
 // Subgraph materialises G_i, copying coordinates from the base graph.
 func (f *Fragment) Subgraph(base *graph.Graph) *graph.Graph {
 	return base.Subgraph(f.Edges)
@@ -134,6 +143,44 @@ func New(g *graph.Graph, edgeSets [][]graph.Edge) (*Fragmentation, error) {
 	return fr, nil
 }
 
+// Restore builds a Fragmentation from edge sets already known to
+// partition g's edges — the trusted constructor for the binary
+// snapshot loader, whose input carried a checksum and was written from
+// a validated Fragmentation. It skips New's O(E) multiset partition
+// check and newFragment's re-sort (snapshots store each fragment's
+// edges in their deterministic order), and adopts the edge slices
+// without copying. Empty inputs are still rejected; everything else is
+// trusted.
+func Restore(g *graph.Graph, edgeSets [][]graph.Edge) (*Fragmentation, error) {
+	if g == nil {
+		return nil, fmt.Errorf("fragment: nil base graph")
+	}
+	if len(edgeSets) == 0 {
+		return nil, fmt.Errorf("fragment: no fragments")
+	}
+	fr := &Fragmentation{base: g, byNode: make(map[graph.NodeID][]int)}
+	for i, edges := range edgeSets {
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("fragment: fragment %d is empty", i)
+		}
+		f := &Fragment{ID: i, Edges: edges, nodes: make(map[graph.NodeID]struct{})}
+		for _, e := range edges {
+			f.nodes[e.From] = struct{}{}
+			f.nodes[e.To] = struct{}{}
+		}
+		fr.frags = append(fr.frags, f)
+	}
+	for _, f := range fr.frags {
+		for id := range f.nodes {
+			fr.byNode[id] = append(fr.byNode[id], f.ID)
+		}
+	}
+	for id := range fr.byNode {
+		sort.Ints(fr.byNode[id])
+	}
+	return fr, nil
+}
+
 // Base returns the fragmented graph.
 func (fr *Fragmentation) Base() *graph.Graph { return fr.base }
 
@@ -150,6 +197,21 @@ func (fr *Fragmentation) Fragments() []*Fragment { return fr.frags }
 // (ascending); nil if the node appears in none (isolated in the base
 // graph).
 func (fr *Fragmentation) FragmentsOf(id graph.NodeID) []int { return fr.byNode[id] }
+
+// SharedNodes returns the set of nodes belonging to two or more
+// fragments — the union of every disconnection set. A node outside the
+// set has all of its base-graph edges inside its single fragment,
+// which is what lets the site builder share the base adjacency lists
+// for such nodes instead of re-deriving them.
+func (fr *Fragmentation) SharedNodes() map[graph.NodeID]bool {
+	shared := make(map[graph.NodeID]bool)
+	for id, fs := range fr.byNode {
+		if len(fs) > 1 {
+			shared[id] = true
+		}
+	}
+	return shared
+}
 
 // Pair identifies an unordered fragment pair with I < J.
 type Pair struct{ I, J int }

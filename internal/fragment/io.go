@@ -71,7 +71,9 @@ func Read(g *graph.Graph, r io.Reader) (*Fragmentation, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("fragment: read: %v", err)
+		// Truncated streams and over-long lines surface here; the line
+		// counter points at where the scan stopped.
+		return nil, fmt.Errorf("fragment: line %d: read: %v", lineNo+1, err)
 	}
 	ordered := make([][]graph.Edge, 0, maxIdx+1)
 	for i := 0; i <= maxIdx; i++ {

@@ -2,6 +2,7 @@ package fragment
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -56,6 +57,49 @@ func TestFragmentationReadErrors(t *testing.T) {
 				t.Errorf("Read(%q) succeeded", c.input)
 			}
 		})
+	}
+}
+
+// errAfterReader yields its payload, then fails with a synthetic
+// stream error.
+type errAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestFragmentationReadErrorsReportLine: parse failures name the
+// offending line.
+func TestFragmentationReadErrorsReportLine(t *testing.T) {
+	g, _ := twoCluster()
+	_, err := Read(g, strings.NewReader("# header\nfragment 0 1 x 1\n"))
+	if err == nil {
+		t.Fatal("Read succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name line 2", err)
+	}
+}
+
+// TestFragmentationReadStreamError: a reader failing mid-stream
+// reports where the scan stopped alongside the underlying error.
+func TestFragmentationReadStreamError(t *testing.T) {
+	g, _ := twoCluster()
+	boom := errors.New("synthetic stream failure")
+	_, err := Read(g, &errAfterReader{data: []byte("fragment 0 1 2 1\n"), err: boom})
+	if err == nil {
+		t.Fatal("Read succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), boom.Error()) {
+		t.Errorf("error %q should name line 2 and the stream failure", err)
 	}
 }
 

@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// RoadConfig parameterises the road-network family: a west→east chain
+// of dense city grids connected by a handful of highway gateways. This
+// is the million-edge shape the persistence layer targets — and it is
+// the paper's favourable regime by construction: each city is a
+// natural fragment, and the disconnection set between neighbours is
+// exactly the Gateways border nodes, so complementary tables stay tiny
+// while fragments carry production-scale edge volume.
+type RoadConfig struct {
+	// Clusters is the number of city grids in the chain.
+	Clusters int
+	// ClusterWidth and ClusterHeight are each city's lattice
+	// dimensions in nodes.
+	ClusterWidth, ClusterHeight int
+	// Gateways is the number of highway connections between adjacent
+	// cities — the disconnection-set size of the induced
+	// fragmentation. Must not exceed ClusterHeight.
+	Gateways int
+	// DiagonalProb adds, per city cell, a diagonal shortcut with this
+	// probability, so the lattice is not perfectly regular.
+	DiagonalProb float64
+	// Seed drives the diagonal placement.
+	Seed int64
+}
+
+// RoadNetwork generates the chained-cities graph together with its
+// natural fragmentation: one edge set per city, with the highway edges
+// between cities k and k+1 assigned to fragment k. The disconnection
+// set DS_{k,k+1} is then exactly city k+1's gateway border nodes. Edge
+// weights are Euclidean lengths (1 for lattice steps, √2 for
+// diagonals, the inter-city gap for highways); all edges are symmetric
+// (AddBoth), so the network is strongly connected.
+//
+// Node (x, y) of city k has ID k·W·H + y·W + x — IDs are consecutive
+// integers in [0, Clusters·W·H), which load generators rely on.
+func RoadNetwork(cfg RoadConfig) (*graph.Graph, [][]graph.Edge, error) {
+	w, h := cfg.ClusterWidth, cfg.ClusterHeight
+	if cfg.Clusters <= 0 {
+		return nil, nil, fmt.Errorf("gen: road: Clusters must be positive, got %d", cfg.Clusters)
+	}
+	if w < 2 || h < 2 {
+		return nil, nil, fmt.Errorf("gen: road: cluster dimensions must be at least 2×2, got %d×%d", w, h)
+	}
+	if cfg.Gateways < 1 || cfg.Gateways > h {
+		return nil, nil, fmt.Errorf("gen: road: Gateways must be in [1, %d], got %d", h, cfg.Gateways)
+	}
+	if cfg.DiagonalProb < 0 || cfg.DiagonalProb > 1 {
+		return nil, nil, fmt.Errorf("gen: road: DiagonalProb must be in [0, 1], got %g", cfg.DiagonalProb)
+	}
+
+	const gap = 4.0 // coordinate gap between adjacent cities
+	g := graph.NewWithCapacity(cfg.Clusters * w * h)
+	sets := make([][]graph.Edge, cfg.Clusters)
+	id := func(k, x, y int) graph.NodeID { return graph.NodeID(k*w*h + y*w + x) }
+	// addBoth places a symmetric edge pair in the graph and in city
+	// k's fragment, keeping the edge sets an exact partition.
+	addBoth := func(k int, e graph.Edge) {
+		g.AddBoth(e)
+		sets[k] = append(sets[k], e, e.Reverse())
+	}
+
+	for k := 0; k < cfg.Clusters; k++ {
+		x0 := float64(k) * (float64(w-1) + gap)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				g.AddNode(id(k, x, y), graph.Coord{X: x0 + float64(x), Y: float64(y)})
+			}
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if x+1 < w {
+					addBoth(k, graph.Edge{From: id(k, x, y), To: id(k, x+1, y), Weight: 1})
+				}
+				if y+1 < h {
+					addBoth(k, graph.Edge{From: id(k, x, y), To: id(k, x, y+1), Weight: 1})
+				}
+				if x+1 < w && y+1 < h && rng.Float64() < cfg.DiagonalProb {
+					addBoth(k, graph.Edge{From: id(k, x, y), To: id(k, x+1, y+1), Weight: math.Sqrt2})
+				}
+			}
+		}
+	}
+
+	// Highways: Gateways rows, spread evenly, connect city k's east
+	// border to city k+1's west border. Assigned to fragment k, so the
+	// shared nodes — and only they — appear in both fragments.
+	for k := 0; k+1 < cfg.Clusters; k++ {
+		for gw := 0; gw < cfg.Gateways; gw++ {
+			y := (2*gw + 1) * h / (2 * cfg.Gateways)
+			addBoth(k, graph.Edge{From: id(k, w-1, y), To: id(k+1, 0, y), Weight: gap + 1})
+		}
+	}
+	return g, sets, nil
+}
+
+// RoadConfigForEdges picks a road-network configuration with at least
+// targetEdges directed edges: a fixed-length chain of near-square
+// cities sized up until the lattice alone (diagonals not counted, so
+// the bound holds for every seed) reaches the target.
+func RoadConfigForEdges(targetEdges int, seed int64) RoadConfig {
+	cfg := RoadConfig{
+		Clusters:     12,
+		Gateways:     5,
+		DiagonalProb: 0.05,
+		Seed:         seed,
+	}
+	side := 2
+	for 4*side*(side-1)*cfg.Clusters < targetEdges {
+		side++
+	}
+	cfg.ClusterWidth, cfg.ClusterHeight = side, side
+	if cfg.Gateways > side {
+		cfg.Gateways = side
+	}
+	return cfg
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/fragment"
+	"repro/internal/graph"
+)
+
+func TestRoadNetworkShape(t *testing.T) {
+	cfg := RoadConfig{Clusters: 4, ClusterWidth: 6, ClusterHeight: 5, Gateways: 3, DiagonalProb: 0.3, Seed: 7}
+	g, sets, err := RoadNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g.NumNodes(), cfg.Clusters*cfg.ClusterWidth*cfg.ClusterHeight; got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	total := 0
+	for _, es := range sets {
+		total += len(es)
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("fragment sets hold %d edges, graph has %d", total, g.NumEdges())
+	}
+	// The edge sets must be a legal fragmentation (exact partition) —
+	// fragment.New re-validates the multiset property.
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		t.Fatalf("edge sets are not a legal fragmentation: %v", err)
+	}
+	// The design point of the family: each adjacency's disconnection
+	// set is exactly the Gateways border nodes, non-adjacent cities
+	// share nothing.
+	for i := 0; i < cfg.Clusters; i++ {
+		for j := i + 1; j < cfg.Clusters; j++ {
+			ds := fr.DisconnectionSet(i, j)
+			want := 0
+			if j == i+1 {
+				want = cfg.Gateways
+			}
+			if len(ds) != want {
+				t.Errorf("|DS(%d,%d)| = %d, want %d", i, j, len(ds), want)
+			}
+		}
+	}
+}
+
+func TestRoadNetworkDeterministic(t *testing.T) {
+	cfg := RoadConfig{Clusters: 3, ClusterWidth: 4, ClusterHeight: 4, Gateways: 2, DiagonalProb: 0.5, Seed: 42}
+	g1, _, err := RoadNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := RoadNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", g1.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestRoadNetworkRejectsBadConfig(t *testing.T) {
+	bad := []RoadConfig{
+		{Clusters: 0, ClusterWidth: 4, ClusterHeight: 4, Gateways: 1},
+		{Clusters: 2, ClusterWidth: 1, ClusterHeight: 4, Gateways: 1},
+		{Clusters: 2, ClusterWidth: 4, ClusterHeight: 4, Gateways: 0},
+		{Clusters: 2, ClusterWidth: 4, ClusterHeight: 4, Gateways: 5},
+		{Clusters: 2, ClusterWidth: 4, ClusterHeight: 4, Gateways: 1, DiagonalProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, _, err := RoadNetwork(cfg); err == nil {
+			t.Errorf("config %d: expected an error", i)
+		}
+	}
+}
+
+func TestRoadConfigForEdgesMeetsTarget(t *testing.T) {
+	for _, target := range []int{100, 10_000, 1_200_000} {
+		cfg := RoadConfigForEdges(target, 1)
+		// The guarantee must hold without diagonals, for every seed.
+		cfg.DiagonalProb = 0
+		g, _, err := RoadNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumEdges() < target {
+			t.Errorf("target %d: got only %d directed edges", target, g.NumEdges())
+		}
+	}
+}
+
+func TestRoadNetworkContiguousIDs(t *testing.T) {
+	cfg := RoadConfig{Clusters: 2, ClusterWidth: 3, ClusterHeight: 3, Gateways: 1, Seed: 1}
+	g, _, err := RoadNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		if !g.HasNode(graph.NodeID(id)) {
+			t.Fatalf("node %d missing — IDs are not contiguous", id)
+		}
+	}
+}

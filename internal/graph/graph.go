@@ -63,6 +63,21 @@ func New() *Graph {
 	}
 }
 
+// NewWithCapacity returns an empty graph with the node maps pre-sized
+// for the given node count, so bulk loaders (the binary snapshot
+// store) avoid the incremental map growth of a node-at-a-time build.
+// The hint is only a hint; the graph grows past it normally.
+func NewWithCapacity(nodes int) *Graph {
+	if nodes < 0 {
+		nodes = 0
+	}
+	return &Graph{
+		coords: make(map[NodeID]Coord, nodes),
+		out:    make(map[NodeID][]Edge, nodes),
+		in:     make(map[NodeID][]Edge, nodes),
+	}
+}
+
 // AddNode inserts (or repositions) a node with the given coordinates.
 func (g *Graph) AddNode(id NodeID, c Coord) {
 	if _, ok := g.coords[id]; !ok {
@@ -95,6 +110,29 @@ func (g *Graph) AddEdge(e Edge) {
 	g.out[e.From] = append(g.out[e.From], e)
 	g.in[e.To] = append(g.in[e.To], e)
 	g.edges++
+}
+
+// InstallNode adds node id with coordinates c and its complete
+// adjacency in one shot: out holds every edge leaving id, in every
+// edge entering it. This is the bulk path for loaders and site
+// builders that bucket an edge volume into contiguous per-node runs —
+// a fixed handful of map writes per node instead of two map appends
+// per edge. The caller guarantees id is not already a node, that both
+// endpoints of every edge are (or will be) installed, and that the
+// global out/in multisets agree. The slices are adopted, not copied;
+// they may share backing arrays with other graphs, which is safe
+// because nothing in this package mutates an installed adjacency list
+// in place (updates rebuild copy-on-write) — callers clamp shared
+// slices (s[:len:len]) so a later append reallocates.
+func (g *Graph) InstallNode(id NodeID, c Coord, out, in []Edge) {
+	g.coords[id] = c
+	if len(out) > 0 {
+		g.out[id] = out
+	}
+	if len(in) > 0 {
+		g.in[id] = in
+	}
+	g.edges += len(out)
 }
 
 // AddBoth inserts the edge and its reverse: transportation networks
@@ -203,17 +241,44 @@ func (g *Graph) Neighbors(id NodeID) []NodeID {
 	return ids
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. Adjacency lists are copied
+// wholesale (one allocation per node, not one map operation per edge),
+// so cloning is cheap enough for the hot construction paths — the
+// per-site augmented graphs and the snapshot restore.
 func (g *Graph) Clone() *Graph {
-	c := New()
+	c := NewWithCapacity(len(g.coords))
 	for id, co := range g.coords {
-		c.AddNode(id, co)
+		c.coords[id] = co
 	}
-	for _, es := range g.out {
-		for _, e := range es {
-			c.AddEdge(e)
-		}
+	for id, es := range g.out {
+		c.out[id] = append([]Edge(nil), es...)
 	}
+	for id, es := range g.in {
+		c.in[id] = append([]Edge(nil), es...)
+	}
+	c.edges = g.edges
+	return c
+}
+
+// CloneShared returns a graph equal to g whose adjacency lists share
+// g's backing arrays, each clamped to its length so a later AddEdge on
+// the clone reallocates instead of writing into the shared array. This
+// is the cheap base for overlay graphs (the per-site augmented search
+// graphs) that add a few edges on top of a large shared body; like
+// every graph, the clone's installed lists must never be edited in
+// place.
+func (g *Graph) CloneShared() *Graph {
+	c := NewWithCapacity(len(g.coords))
+	for id, co := range g.coords {
+		c.coords[id] = co
+	}
+	for id, es := range g.out {
+		c.out[id] = es[:len(es):len(es)]
+	}
+	for id, es := range g.in {
+		c.in[id] = es[:len(es):len(es)]
+	}
+	c.edges = g.edges
 	return c
 }
 
@@ -221,16 +286,18 @@ func (g *Graph) Clone() *Graph {
 // exactly those edges plus their endpoints (with coordinates copied from
 // g). This is how a fragment R_i induces the subgraph G_i of the paper.
 func (g *Graph) Subgraph(edges []Edge) *Graph {
-	s := New()
+	// Pre-size for the sparse-graph common case (average degree ≥ 2)
+	// to skip most incremental map growth, and write the maps directly
+	// — endpoint re-validation per edge would double the map traffic
+	// on a path that runs once per fragment per (re)build.
+	s := NewWithCapacity(len(edges) / 2)
 	for _, e := range edges {
-		if !s.HasNode(e.From) {
-			s.AddNode(e.From, g.Coord(e.From))
-		}
-		if !s.HasNode(e.To) {
-			s.AddNode(e.To, g.Coord(e.To))
-		}
-		s.AddEdge(e)
+		s.coords[e.From] = g.coords[e.From]
+		s.coords[e.To] = g.coords[e.To]
+		s.out[e.From] = append(s.out[e.From], e)
+		s.in[e.To] = append(s.in[e.To], e)
 	}
+	s.edges = len(edges)
 	return s
 }
 

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -377,6 +378,49 @@ func TestReadErrors(t *testing.T) {
 				t.Errorf("Read(%q) succeeded, want error", c.input)
 			}
 		})
+	}
+}
+
+// errAfterReader yields its payload, then fails with a synthetic
+// stream error — a transport failing mid-parse.
+type errAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestReadErrorsReportLine: every parse failure names the offending
+// line, so a bad row in a million-line file is findable.
+func TestReadErrorsReportLine(t *testing.T) {
+	in := "node 1 0 0\nnode 2 1 0\nedge 1 x\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("Read succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+}
+
+// TestReadStreamErrorHasLineContext: a reader failing mid-stream (a
+// truncated pipe, a dying disk) reports where the scan stopped, not
+// just the underlying error.
+func TestReadStreamErrorHasLineContext(t *testing.T) {
+	boom := errors.New("synthetic stream failure")
+	_, err := Read(&errAfterReader{data: []byte("node 1 0 0\nnode 2 1 0\nedge 1 2 1\n"), err: boom})
+	if err == nil {
+		t.Fatal("Read succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), boom.Error()) {
+		t.Errorf("error %q should name line 4 and the stream failure", err)
 	}
 }
 

@@ -93,7 +93,9 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: read: %v", err)
+		// Truncated streams and over-long lines surface here; the line
+		// counter points at where the scan stopped.
+		return nil, fmt.Errorf("graph: line %d: read: %v", lineNo+1, err)
 	}
 	return g, nil
 }

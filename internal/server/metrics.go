@@ -113,6 +113,28 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Seconds since the server deployed.",
 		func() float64 { return time.Since(start).Seconds() })
 
+	// Persistence: scrape-time reads of the dataset's journal and
+	// checkpoint counters. All-zero when the deployment has no store
+	// directory attached.
+	reg.CounterFunc("tc_store_journal_records_total",
+		"Update batches appended to the apply journal.",
+		func() float64 { return float64(ds.PersistStats().JournalRecords) })
+	reg.GaugeFunc("tc_store_journal_append_seconds",
+		"Cumulative journal append+fsync time.",
+		func() float64 { return ds.PersistStats().JournalAppendSeconds })
+	reg.CounterFunc("tc_store_checkpoints_total",
+		"Snapshot checkpoints written to the store directory.",
+		func() float64 { return float64(ds.PersistStats().Checkpoints) })
+	reg.GaugeFunc("tc_store_checkpoint_seconds",
+		"Cumulative snapshot checkpoint time.",
+		func() float64 { return ds.PersistStats().CheckpointSeconds })
+	reg.GaugeFunc("tc_store_save_seconds",
+		"Cumulative snapshot write time (checkpoints and explicit saves).",
+		func() float64 { return ds.PersistStats().SaveSeconds })
+	reg.GaugeFunc("tc_store_load_seconds",
+		"Wall-clock time of the boot-time snapshot or checkpoint load.",
+		func() float64 { return ds.PersistStats().LoadSeconds })
+
 	m.epochSwaps = reg.Counter("tc_epoch_swaps_total",
 		"Copy-on-write generation swaps (applied batches).")
 	m.applyLatency = reg.Histogram("tc_apply_duration_seconds",

@@ -1,0 +1,343 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsa"
+)
+
+// A store directory holds the durable state of one deployment:
+//
+//	dir/
+//	  checkpoint-<epoch, %020d>.tcs   the latest TCSF image
+//	  journal.log                     batches applied since then
+//	  *.tmp                           in-flight atomic writes (ignored)
+//
+// Recovery = load the highest-epoch checkpoint, then replay the
+// journal records whose epoch exceeds it. Checkpoints are written
+// atomically (temp + rename) and the journal is truncated only after
+// the new checkpoint is durable, so every crash point lands on a
+// recoverable state at the exact acknowledged epoch.
+
+const (
+	checkpointPrefix = "checkpoint-"
+	checkpointSuffix = ".tcs"
+	journalName      = "journal.log"
+	// DefaultCheckpointEvery is the journal length that triggers a
+	// checkpoint when Options.CheckpointEvery is 0.
+	DefaultCheckpointEvery = 64
+)
+
+// ErrNoCheckpoint reports an Open on a directory with no checkpoint —
+// the caller decides whether to Init it from a fresh build.
+var ErrNoCheckpoint = errors.New("store: no checkpoint in directory")
+
+// Options configures a DB.
+type Options struct {
+	// CheckpointEvery is the number of journaled batches that triggers
+	// a fresh TCSF checkpoint (and a journal truncation). 0 means
+	// DefaultCheckpointEvery; negative disables automatic checkpoints
+	// (the journal grows until Checkpoint is called explicitly).
+	CheckpointEvery int
+}
+
+// Stats is a point-in-time snapshot of the DB's persistence counters,
+// safe to read while appends are in flight.
+type Stats struct {
+	// JournalRecords counts batches appended to the journal.
+	JournalRecords uint64
+	// JournalAppendSeconds is the cumulative wall-clock time spent
+	// appending and fsyncing journal records.
+	JournalAppendSeconds float64
+	// Checkpoints counts TCSF checkpoints written.
+	Checkpoints uint64
+	// CheckpointSeconds is the cumulative wall-clock time spent
+	// writing checkpoints (encode, fsync, rename, journal reset).
+	CheckpointSeconds float64
+	// SaveSeconds is the cumulative wall-clock time of every TCSF
+	// image written through this DB (checkpoints and Init).
+	SaveSeconds float64
+	// LoadSeconds is the wall-clock time of the boot-time checkpoint
+	// load.
+	LoadSeconds float64
+}
+
+// RecoveryInfo reports what Open found and did.
+type RecoveryInfo struct {
+	// CheckpointEpoch is the epoch of the checkpoint image loaded.
+	CheckpointEpoch uint64
+	// ReplayedRecords is the number of journal records re-applied on
+	// top of the checkpoint.
+	ReplayedRecords int
+	// TornTail reports that a torn (partially written) final journal
+	// record was found and truncated.
+	TornTail bool
+	// Epoch is the recovered store's epoch.
+	Epoch uint64
+	// LoadDuration is the wall-clock time of the checkpoint load
+	// (excluding journal replay).
+	LoadDuration time.Duration
+}
+
+// DB is the durable side of a deployment: an open journal handle plus
+// the checkpoint cadence. One writer at a time calls Append (the tcq
+// facade already serialises writers); Stats is safe concurrently.
+type DB struct {
+	dir   string
+	every int
+
+	mu        sync.Mutex
+	j         *journal
+	sinceCkpt int
+
+	records     atomic.Uint64
+	appendNanos atomic.Uint64
+	checkpoints atomic.Uint64
+	ckptNanos   atomic.Uint64
+	saveNanos   atomic.Uint64
+	loadNanos   atomic.Uint64
+}
+
+// Exists reports whether dir holds a recoverable store (at least one
+// checkpoint image).
+func Exists(dir string) bool {
+	ckpt, _, err := latestCheckpoint(dir)
+	return err == nil && ckpt != ""
+}
+
+// Init seeds an empty directory with a checkpoint of st, creating the
+// directory if needed. It refuses a directory that already has a
+// checkpoint — recovery from existing state must go through Open, not
+// be silently overwritten.
+func Init(dir string, st *dsa.Store) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: init: %w", err)
+	}
+	if Exists(dir) {
+		return fmt.Errorf("store: init: %s already holds a checkpoint", dir)
+	}
+	_, err := SaveFile(filepath.Join(dir, checkpointName(st.Epoch())), st)
+	return err
+}
+
+// Open recovers the deployment from dir: removes leftover temp files,
+// loads the highest-epoch checkpoint, opens the journal (truncating a
+// torn tail), and replays every record beyond the checkpoint's epoch.
+// Each replayed record must advance the store to exactly the epoch it
+// recorded — a gap or mismatch means the directory is corrupt and
+// recovery refuses rather than serving wrong answers.
+func Open(dir string, opts Options) (*DB, *dsa.Store, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if err := removeTempFiles(dir); err != nil {
+		return nil, nil, info, err
+	}
+	ckpt, epoch, err := latestCheckpoint(dir)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	if ckpt == "" {
+		return nil, nil, info, fmt.Errorf("store: %s: %w", dir, ErrNoCheckpoint)
+	}
+	start := time.Now()
+	st, err := Load(filepath.Join(dir, ckpt))
+	if err != nil {
+		return nil, nil, info, err
+	}
+	info.LoadDuration = time.Since(start)
+	info.CheckpointEpoch = epoch
+	if st.Epoch() != epoch {
+		return nil, nil, info, fmt.Errorf("%w: checkpoint %s holds epoch %d", ErrBadSnapshot, ckpt, st.Epoch())
+	}
+
+	j, recs, torn, err := openJournal(filepath.Join(dir, journalName))
+	if err != nil {
+		return nil, nil, info, err
+	}
+	info.TornTail = torn
+	replayedAhead := 0
+	for _, rec := range recs {
+		if rec.Epoch <= st.Epoch() {
+			// Stale prefix: the checkpoint already contains this batch
+			// (crash between checkpoint and journal truncation).
+			continue
+		}
+		next, _, err := st.Apply(context.Background(), rec.Ops)
+		if err != nil {
+			j.close()
+			return nil, nil, info, fmt.Errorf("store: replay epoch %d: %w", rec.Epoch, err)
+		}
+		if next.Epoch() != rec.Epoch {
+			j.close()
+			return nil, nil, info, fmt.Errorf("store: replay produced epoch %d, journal recorded %d (gap in journal)", next.Epoch(), rec.Epoch)
+		}
+		st = next
+		replayedAhead++
+	}
+	info.ReplayedRecords = replayedAhead
+	info.Epoch = st.Epoch()
+
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	db := &DB{dir: dir, every: every, j: j, sinceCkpt: len(recs)}
+	db.loadNanos.Store(uint64(info.LoadDuration.Nanoseconds()))
+	return db, st, info, nil
+}
+
+// Append journals one applied batch — next is the store the batch
+// produced, ops the batch's operations — fsyncing before returning,
+// and checkpoints when the cadence is due. Callers must not swap in
+// next (i.e. acknowledge the batch) unless Append succeeds: an
+// unjournaled acknowledged batch would be lost by the next recovery.
+func (db *DB) Append(next *dsa.Store, ops []dsa.EdgeOp) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	start := time.Now()
+	if err := db.j.append(journalRecord{Epoch: next.Epoch(), Ops: ops}); err != nil {
+		return err
+	}
+	db.appendNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	db.records.Add(1)
+	db.sinceCkpt++
+	if db.every > 0 && db.sinceCkpt >= db.every {
+		// The batch is already durable in the journal, so a failed
+		// checkpoint does not lose it — surface the error anyway: disk
+		// trouble now means recovery trouble later.
+		return db.checkpointLocked(next)
+	}
+	return nil
+}
+
+// Checkpoint writes a fresh TCSF image of st and truncates the
+// journal. Useful at shutdown to make the next boot replay-free.
+func (db *DB) Checkpoint(st *dsa.Store) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked(st)
+}
+
+func (db *DB) checkpointLocked(st *dsa.Store) error {
+	start := time.Now()
+	if _, err := SaveFile(filepath.Join(db.dir, checkpointName(st.Epoch())), st); err != nil {
+		return err
+	}
+	// The image is durable; journaled batches up to st.Epoch() are now
+	// redundant (replay skips records at or below the checkpoint), so
+	// the truncation need not be atomic with the rename.
+	if err := db.j.reset(); err != nil {
+		return err
+	}
+	db.pruneCheckpoints(st.Epoch())
+	db.sinceCkpt = 0
+	nanos := uint64(time.Since(start).Nanoseconds())
+	db.ckptNanos.Add(nanos)
+	db.saveNanos.Add(nanos)
+	db.checkpoints.Add(1)
+	return nil
+}
+
+// pruneCheckpoints removes checkpoint images below the given epoch,
+// best-effort — a leftover old checkpoint costs disk, not correctness
+// (recovery always picks the highest epoch).
+func (db *DB) pruneCheckpoints(keep uint64) {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		epoch, ok := parseCheckpointName(ent.Name())
+		if ok && epoch < keep {
+			os.Remove(filepath.Join(db.dir, ent.Name()))
+		}
+	}
+}
+
+// Stats returns the current persistence counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		JournalRecords:       db.records.Load(),
+		JournalAppendSeconds: float64(db.appendNanos.Load()) / 1e9,
+		Checkpoints:          db.checkpoints.Load(),
+		CheckpointSeconds:    float64(db.ckptNanos.Load()) / 1e9,
+		SaveSeconds:          float64(db.saveNanos.Load()) / 1e9,
+		LoadSeconds:          float64(db.loadNanos.Load()) / 1e9,
+	}
+}
+
+// Close releases the journal handle. The directory stays recoverable.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.j.close()
+}
+
+// checkpointName renders the canonical image name for an epoch; the
+// zero-padded decimal keeps lexicographic and numeric order aligned.
+func checkpointName(epoch uint64) string {
+	return fmt.Sprintf("%s%020d%s", checkpointPrefix, epoch, checkpointSuffix)
+}
+
+// parseCheckpointName extracts the epoch from a checkpoint file name.
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), checkpointSuffix)
+	epoch, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// latestCheckpoint returns the highest-epoch checkpoint file name in
+// dir ("" if none). A missing directory is not an error — it simply
+// holds no checkpoint.
+func latestCheckpoint(dir string) (string, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return "", 0, nil
+	}
+	if err != nil {
+		return "", 0, fmt.Errorf("store: %w", err)
+	}
+	best, bestEpoch, found := "", uint64(0), false
+	for _, ent := range entries {
+		epoch, ok := parseCheckpointName(ent.Name())
+		if ok && (!found || epoch > bestEpoch) {
+			best, bestEpoch, found = ent.Name(), epoch, true
+		}
+	}
+	return best, bestEpoch, nil
+}
+
+// removeTempFiles clears in-flight atomic-write leftovers (*.tmp) —
+// a crash mid-checkpoint leaves one, and it must never shadow or be
+// mistaken for a real image.
+func removeTempFiles(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+				return fmt.Errorf("store: remove stale temp file: %w", err)
+			}
+		}
+	}
+	return nil
+}

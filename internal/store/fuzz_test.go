@@ -1,0 +1,96 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment"
+	"repro/internal/gen"
+)
+
+// fuzzSeedImage builds one small valid TCSF image for the corpus.
+func fuzzSeedImage(tb testing.TB) []byte {
+	tb.Helper()
+	g, sets, err := gen.RoadNetwork(gen.RoadConfig{
+		Clusters: 2, ClusterWidth: 3, ClusterHeight: 3, Gateways: 1, Seed: 1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st, err := dsa.Build(fr, dsa.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, err := Encode(st)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// FuzzTCSFDecode asserts the decoder's safety contract: arbitrary
+// bytes must produce either a store or an error — never a panic, and
+// never an allocation driven by an unvalidated length field (every
+// count is capped by the bytes actually present before any make()).
+// The driver's -fuzzminimizetime memory ceiling would catch an
+// over-allocation as an OOM crash.
+func FuzzTCSFDecode(f *testing.F) {
+	valid := fuzzSeedImage(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(fileMagic))
+	f.Add(valid[:headerSize])
+	f.Add(valid[:len(valid)/2])
+	// A header declaring huge counts with no body behind them — the
+	// exact shape the allocation caps exist for.
+	huge := bytes.Clone(valid[:headerSize])
+	for off := 16; off+8 <= headerSize; off += 8 {
+		binary.LittleEndian.PutUint64(huge[off:], 1<<40)
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A decode that succeeds must return a usable store.
+		if st == nil {
+			t.Fatal("Decode returned nil store and nil error")
+		}
+		if st.Fragmentation().NumFragments() <= 0 {
+			t.Fatal("decoded store has no fragments")
+		}
+	})
+}
+
+// FuzzJournalScan asserts the journal opener's matching contract: any
+// file content yields a clean truncation point, never a panic or an
+// oversized allocation.
+func FuzzJournalScan(f *testing.F) {
+	rec := encodeJournalRecord(journalRecord{Epoch: 3, Ops: []dsa.EdgeOp{
+		{Kind: dsa.OpInsert, Frag: 0, Edge: validEdge()},
+	}})
+	f.Add(bytes.Clone(rec))
+	f.Add(rec[:len(rec)-3])
+	f.Add(append(bytes.Clone(rec), rec...))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := dir + "/journal.log"
+		if err := writeFileForTest(path, data); err != nil {
+			t.Fatal(err)
+		}
+		j, _, _, err := openJournal(path)
+		if err != nil {
+			return
+		}
+		j.close()
+	})
+}

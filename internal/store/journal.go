@@ -1,0 +1,203 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/dsa"
+	"repro/internal/graph"
+)
+
+// The apply journal is an append-only log of typed update batches,
+// one record per applied epoch:
+//
+//	[u32 payloadLen][u32 crc32(payload)][payload]
+//	payload = u64 epoch | u32 opCount | opCount × op
+//	op      = u8 kind | i64 fragment | i64 from | i64 to | f64 weight
+//
+// Records are CRC-framed individually, so a crash mid-append leaves a
+// torn tail that the next open detects and truncates: everything
+// before the tear was fsynced before its Apply was acknowledged, and
+// the torn record was never acknowledged. The epoch inside each
+// record is the epoch the batch PRODUCED; recovery replays only
+// records beyond the checkpoint's epoch, which makes a crash between
+// checkpoint and journal truncation harmless (the stale prefix is
+// skipped, not re-applied).
+
+const (
+	// journalOpSize is the fixed encoding of one op.
+	journalOpSize = 1 + 8 + 8 + 8 + 8
+	// maxJournalPayload caps a record's declared length before any
+	// allocation — a corrupt frame cannot request more.
+	maxJournalPayload = 64 << 20
+)
+
+// errTornRecord marks the frame where a journal scan stopped.
+var errTornRecord = errors.New("store: torn journal record")
+
+// journalRecord is one applied batch: the ops and the epoch applying
+// them produced.
+type journalRecord struct {
+	Epoch uint64
+	Ops   []dsa.EdgeOp
+}
+
+// encodeJournalRecord frames one record.
+func encodeJournalRecord(rec journalRecord) []byte {
+	payload := make([]byte, 0, 12+len(rec.Ops)*journalOpSize)
+	payload = binary.LittleEndian.AppendUint64(payload, rec.Epoch)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		payload = append(payload, byte(op.Kind))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(op.Frag))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(op.Edge.From))
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(op.Edge.To))
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(op.Edge.Weight))
+	}
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	return append(frame, payload...)
+}
+
+// decodeJournalPayload parses one CRC-verified payload.
+func decodeJournalPayload(p []byte) (journalRecord, error) {
+	if len(p) < 12 {
+		return journalRecord{}, errTornRecord
+	}
+	rec := journalRecord{Epoch: binary.LittleEndian.Uint64(p)}
+	n := binary.LittleEndian.Uint32(p[8:])
+	if uint64(len(p)-12) != uint64(n)*journalOpSize {
+		return journalRecord{}, errTornRecord
+	}
+	rec.Ops = make([]dsa.EdgeOp, n)
+	off := 12
+	for i := range rec.Ops {
+		kind := dsa.OpKind(p[off])
+		if kind != dsa.OpInsert && kind != dsa.OpDelete {
+			return journalRecord{}, errTornRecord
+		}
+		rec.Ops[i] = dsa.EdgeOp{
+			Kind: kind,
+			Frag: int(int64(binary.LittleEndian.Uint64(p[off+1:]))),
+			Edge: graph.Edge{
+				From:   graph.NodeID(int64(binary.LittleEndian.Uint64(p[off+9:]))),
+				To:     graph.NodeID(int64(binary.LittleEndian.Uint64(p[off+17:]))),
+				Weight: math.Float64frombits(binary.LittleEndian.Uint64(p[off+25:])),
+			},
+		}
+		off += journalOpSize
+	}
+	return rec, nil
+}
+
+// journal is the open append handle plus the fail-stop latch: once an
+// append fails partway, the on-disk tail is indeterminate and further
+// appends could silently follow garbage, so the journal refuses them
+// until the process restarts (and recovery truncates the tear).
+type journal struct {
+	f      *os.File
+	broken bool
+}
+
+// openJournal opens (creating if absent) the journal at path, scans
+// every intact record, truncates a torn tail in place, and positions
+// the handle for appending. The second result reports whether a tear
+// was found.
+func openJournal(path string) (*journal, []journalRecord, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("store: journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("store: journal: %w", err)
+	}
+	var recs []journalRecord
+	good := 0
+	torn := false
+	for off := 0; off < len(data); {
+		if len(data)-off < 8 {
+			torn = true
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxJournalPayload || len(data)-off-8 < int(n) {
+			torn = true
+			break
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			torn = true
+			break
+		}
+		rec, err := decodeJournalPayload(payload)
+		if err != nil {
+			torn = true
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + int(n)
+		good = off
+	}
+	if torn {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("store: journal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, false, fmt.Errorf("store: journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, false, fmt.Errorf("store: journal: %w", err)
+	}
+	return &journal{f: f}, recs, torn, nil
+}
+
+// append durably writes one record: the frame lands with a single
+// write and is fsynced before the caller acknowledges the batch. Any
+// failure latches the journal broken (fail-stop; see type comment).
+func (j *journal) append(rec journalRecord) error {
+	if j.broken {
+		return errors.New("store: journal is fail-stopped after an earlier append error; restart to recover")
+	}
+	if _, err := j.f.Write(encodeJournalRecord(rec)); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: journal sync: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the journal to empty — called after a checkpoint
+// has durably captured every journaled batch.
+func (j *journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: journal reset: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: journal reset: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: journal reset: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error { return j.f.Close() }

@@ -1,0 +1,40 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile is the portable fallback for platforms without the unix
+// mmap surface: the whole file is read into memory with io.ReadFull.
+// Slower cold starts, identical semantics — the decoder aliases the
+// heap buffer exactly as it would the mapping.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size < headerSize {
+		return nil, false, fmt.Errorf("store: %s: %w: file too small (%d bytes)", path, ErrBadSnapshot, size)
+	}
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("store: %s: %w: file too large for this platform", path, ErrBadSnapshot)
+	}
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	return b, false, nil
+}
+
+// unmapFile is a no-op for the heap-backed fallback.
+func unmapFile([]byte) {}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file at path read-only. The returned buffer aliases
+// the page cache: loading a snapshot is bounded by I/O (page-in plus
+// one checksum pass), not by copying. The second result reports that
+// the buffer is a real mapping and must go through unmapFile to be
+// released.
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size < headerSize {
+		return nil, false, fmt.Errorf("store: %s: %w: file too small (%d bytes)", path, ErrBadSnapshot, size)
+	}
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("store: %s: %w: file too large for this platform", path, ErrBadSnapshot)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return b, true, nil
+}
+
+// unmapFile releases a mapping obtained from mapFile.
+func unmapFile(b []byte) { syscall.Munmap(b) }

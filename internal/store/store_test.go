@@ -1,0 +1,328 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/fragment"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// roadStore builds a small road-network store — the shape the format
+// is for: several fragments, non-trivial disconnection sets, weighted
+// symmetric edges.
+func roadStore(t *testing.T, opt dsa.Options, seed int64) (*dsa.Store, *graph.Graph) {
+	t.Helper()
+	g, sets, err := gen.RoadNetwork(gen.RoadConfig{
+		Clusters: 4, ClusterWidth: 5, ClusterHeight: 4,
+		Gateways: 2, DiagonalProb: 0.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dsa.Build(fr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, g
+}
+
+// assertSameAnswers is the round-trip oracle: for sampled node pairs,
+// the loaded store must answer exactly like the freshly built one —
+// connectivity under every engine, and cost where the problem supports
+// it.
+func assertSameAnswers(t *testing.T, built, loaded *dsa.Store, g *graph.Graph, pairs int, seed int64) {
+	t.Helper()
+	if built.Epoch() != loaded.Epoch() {
+		t.Fatalf("epoch drifted: built %d, loaded %d", built.Epoch(), loaded.Epoch())
+	}
+	costEngines := []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineDense}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	for i := 0; i < pairs; i++ {
+		src := graph.NodeID(rng.Intn(n))
+		tgt := graph.NodeID(rng.Intn(n))
+		for _, eng := range costEngines {
+			want, err := built.Query(src, tgt, eng)
+			if err != nil {
+				t.Fatalf("built query %d→%d (%v): %v", src, tgt, eng, err)
+			}
+			got, err := loaded.Query(src, tgt, eng)
+			if err != nil {
+				t.Fatalf("loaded query %d→%d (%v): %v", src, tgt, eng, err)
+			}
+			if want.Reachable != got.Reachable || want.Cost != got.Cost {
+				t.Fatalf("query %d→%d (%v): built (%v, %g), loaded (%v, %g)",
+					src, tgt, eng, want.Reachable, want.Cost, got.Reachable, got.Cost)
+			}
+		}
+		wantConn, err := built.Connected(src, tgt, dsa.EngineBitset)
+		if err != nil {
+			t.Fatalf("built connected %d→%d: %v", src, tgt, err)
+		}
+		gotConn, err := loaded.Connected(src, tgt, dsa.EngineBitset)
+		if err != nil {
+			t.Fatalf("loaded connected %d→%d: %v", src, tgt, err)
+		}
+		if wantConn != gotConn {
+			t.Fatalf("connected %d→%d: built %v, loaded %v", src, tgt, wantConn, gotConn)
+		}
+	}
+}
+
+// assertSameReachability is the oracle for reachability-only stores,
+// where cost queries are refused by contract.
+func assertSameReachability(t *testing.T, built, loaded *dsa.Store, g *graph.Graph, pairs int, seed int64) {
+	t.Helper()
+	engines := []dsa.Engine{dsa.EngineDijkstra, dsa.EngineSemiNaive, dsa.EngineBitset, dsa.EngineDense}
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	for i := 0; i < pairs; i++ {
+		src := graph.NodeID(rng.Intn(n))
+		tgt := graph.NodeID(rng.Intn(n))
+		for _, eng := range engines {
+			want, err := built.Connected(src, tgt, eng)
+			if err != nil {
+				t.Fatalf("built connected %d→%d (%v): %v", src, tgt, eng, err)
+			}
+			got, err := loaded.Connected(src, tgt, eng)
+			if err != nil {
+				t.Fatalf("loaded connected %d→%d (%v): %v", src, tgt, eng, err)
+			}
+			if want != got {
+				t.Fatalf("connected %d→%d (%v): built %v, loaded %v", src, tgt, eng, want, got)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripShortestPath(t *testing.T) {
+	st, g := roadStore(t, dsa.Options{}, 11)
+	b, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, st, loaded, g, 60, 1)
+}
+
+func TestEncodeDecodeRoundTripReachability(t *testing.T) {
+	st, g := roadStore(t, dsa.Options{Problem: dsa.ProblemReachability}, 13)
+	b, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Problem() != dsa.ProblemReachability {
+		t.Fatalf("problem not preserved: %v", loaded.Problem())
+	}
+	assertSameReachability(t, st, loaded, g, 60, 2)
+}
+
+func TestRoundTripRandomGraphs(t *testing.T) {
+	// Property check over the generator family: several seeds and
+	// shapes, each saved and loaded through a real file (mmap path on
+	// unix), answers compared against the fresh build.
+	for seed := int64(0); seed < 3; seed++ {
+		g, sets, err := gen.RoadNetwork(gen.RoadConfig{
+			Clusters:     int(2 + seed),
+			ClusterWidth: 4, ClusterHeight: 3 + int(seed),
+			Gateways: 1 + int(seed), DiagonalProb: 0.2 * float64(seed), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := fragment.New(g, sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := dsa.Build(fr, dsa.Options{MaxChains: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "snap.tcs")
+		if _, err := SaveFile(path, st); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.MaxChains() != 2 {
+			t.Fatalf("MaxChains not preserved: %d", loaded.MaxChains())
+		}
+		assertSameAnswers(t, st, loaded, g, 40, seed)
+	}
+}
+
+func TestRoundTripPreservesStats(t *testing.T) {
+	st, _ := roadStore(t, dsa.Options{}, 17)
+	b, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Preprocessing(), st.Preprocessing(); got != want {
+		t.Fatalf("preprocess stats drifted: %+v vs %+v", got, want)
+	}
+}
+
+func TestRoundTripSurvivesApply(t *testing.T) {
+	// A loaded store must be a full citizen: applying a batch on top of
+	// it must work and agree with applying the same batch to the
+	// original.
+	st, g := roadStore(t, dsa.Options{}, 19)
+	b, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []dsa.EdgeOp{
+		{Kind: dsa.OpInsert, Frag: 0, Edge: graph.Edge{From: 0, To: 7, Weight: 0.25}},
+		{Kind: dsa.OpInsert, Frag: 0, Edge: graph.Edge{From: 7, To: 0, Weight: 0.25}},
+	}
+	next1, _, err := st.Apply(t.Context(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next2, _, err := loaded.Apply(t.Context(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, next1, next2, g, 40, 3)
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	st, _ := roadStore(t, dsa.Options{}, 23)
+	valid, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(valid); err != nil {
+		t.Fatalf("valid image refused: %v", err)
+	}
+
+	flip := func(off int) []byte {
+		b := bytes.Clone(valid)
+		b[off] ^= 0x40
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"short":           valid[:headerSize-1],
+		"bad magic":       flip(0),
+		"bad crc":         flip(9),
+		"flipped body":    flip(headerSize + 3),
+		"flipped trailer": flip(len(valid) - 2),
+		"truncated":       valid[:len(valid)-1],
+		"trailing bytes":  append(bytes.Clone(valid), 0),
+	}
+	for name, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	st, _ := roadStore(t, dsa.Options{}, 29)
+	valid, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must be refused — no length field may walk
+	// past the data it actually has. Stride keeps the test fast.
+	for n := 0; n < len(valid); n += 97 {
+		if _, err := Decode(valid[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestSaveFileIsAtomic(t *testing.T) {
+	st, _ := roadStore(t, dsa.Options{}, 31)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.tcs")
+	n, err := SaveFile(path, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != n {
+		t.Fatalf("SaveFile reported %d bytes, file has %d", n, fi.Size())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind: %d entries", len(entries))
+	}
+	// Same image twice → same bytes: the format is deterministic, so
+	// checkpoints are reproducible and diffable.
+	b1, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("Encode and SaveFile produced different bytes")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.tcs")); err == nil {
+		t.Fatal("expected an error for a missing file")
+	}
+}
+
+func TestRoundTripInfinityWeightsStayFinite(t *testing.T) {
+	// Unreachable costs are +Inf at query time but must never be
+	// serialized as edge weights; a quick sanity pass over the oracle
+	// on a disconnected-ish graph (MaxChains 1 restricts routing).
+	st, g := roadStore(t, dsa.Options{MaxChains: 1}, 37)
+	b, err := Encode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Query(0, graph.NodeID(g.NumNodes()-1), dsa.EngineDijkstra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reachable && math.IsInf(res.Cost, 1) {
+		t.Fatal("reachable with infinite cost")
+	}
+	assertSameAnswers(t, st, loaded, g, 40, 5)
+}

@@ -1,0 +1,63 @@
+package tc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the serialization seam of the dense kernel: the binary
+// snapshot store (internal/store) persists a built DenseGraph as its
+// raw CSR arrays and reconstructs it on load without re-interning the
+// edge relation — the renumbering tables and adjacency are exactly the
+// expensive part of NewDenseGraph that a cold start should not redo.
+
+// CSR exposes the snapshot's raw arrays: the dense-index→node-id
+// renumbering table, the row offsets (len(ids)+1), the edge targets and
+// the parallel weights. The slices are owned by the DenseGraph and must
+// not be modified; they are exactly the input DenseFromCSR accepts.
+func (d *DenseGraph) CSR() (ids []int64, rowStart, colIdx []int32, weight []float64) {
+	return d.ids, d.rowStart, d.colIdx, d.weight
+}
+
+// DenseFromCSR reconstructs a DenseGraph from raw CSR arrays, adopting
+// the slices without copying (loaders alias them straight out of an
+// mmap'd snapshot). Only the node-id→index map is rebuilt. The shape is
+// fully validated — offsets monotone and in range, targets in range,
+// weights non-negative, ids distinct — so a corrupt snapshot fails here
+// instead of crashing a kernel later.
+func DenseFromCSR(ids []int64, rowStart, colIdx []int32, weight []float64) (*DenseGraph, error) {
+	n, e := len(ids), len(colIdx)
+	if len(rowStart) != n+1 {
+		return nil, fmt.Errorf("tc: csr: rowStart length %d, want %d", len(rowStart), n+1)
+	}
+	if len(weight) != e {
+		return nil, fmt.Errorf("tc: csr: %d weights for %d edges", len(weight), e)
+	}
+	if rowStart[0] != 0 || int(rowStart[n]) != e {
+		return nil, errors.New("tc: csr: row offsets do not span the edge array")
+	}
+	for i := 0; i < n; i++ {
+		if rowStart[i] > rowStart[i+1] {
+			return nil, fmt.Errorf("tc: csr: row offsets decrease at row %d", i)
+		}
+	}
+	for k, v := range colIdx {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("tc: csr: edge %d targets out-of-range node %d", k, v)
+		}
+	}
+	for k, w := range weight {
+		if w < 0 {
+			return nil, fmt.Errorf("tc: csr: %w: edge %d cost %v", ErrNegativeWeight, k, w)
+		}
+	}
+	d := &DenseGraph{ids: ids, rowStart: rowStart, colIdx: colIdx, weight: weight,
+		idx: make(map[int64]int32, n)}
+	for i, id := range ids {
+		if _, dup := d.idx[id]; dup {
+			return nil, fmt.Errorf("tc: csr: duplicate node id %d", id)
+		}
+		d.idx[id] = int32(i)
+	}
+	return d, nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dsa"
 	"repro/internal/fragment"
+	"repro/internal/store"
 )
 
 // Dataset is the mutable handle on a deployed graph: the single writer
@@ -34,6 +35,13 @@ type Dataset struct {
 	// OnApply callbacks observe batches in epoch order.
 	applyMu sync.Mutex
 	cur     atomic.Pointer[Snapshot]
+
+	// db is the attached durable store directory, nil for in-memory
+	// datasets. Guarded by applyMu (writers journal under the gate).
+	db *store.DB
+	// loadSeconds records the boot-time snapshot/checkpoint load, for
+	// PersistStats.
+	loadSeconds float64
 
 	subMu   sync.Mutex
 	subs    []subscriber
@@ -123,9 +131,19 @@ func (d *Dataset) Apply(ctx context.Context, b *Batch) (ApplyResult, error) {
 	d.applyMu.Lock()
 	defer d.applyMu.Unlock()
 	old := d.cur.Load()
-	next, stats, err := old.st.Apply(ctx, b.edgeOps())
+	ops := b.edgeOps()
+	next, stats, err := old.st.Apply(ctx, ops)
 	if err != nil {
 		return ApplyResult{}, err
+	}
+	// Write-ahead discipline: the batch is journaled and fsynced
+	// before the swap makes it visible. If the journal refuses, the
+	// batch is NOT acknowledged — readers keep the old generation and
+	// a restart recovers exactly the epochs that were acknowledged.
+	if d.db != nil {
+		if err := d.db.Append(next, ops); err != nil {
+			return ApplyResult{}, fmt.Errorf("tcq: Apply: %w", err)
+		}
 	}
 	d.cur.Store(&Snapshot{st: next, stats: CollectStats(next)})
 	res := ApplyResult{Epoch: next.Epoch(), Stats: stats, Elapsed: time.Since(start)}

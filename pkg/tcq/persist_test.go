@@ -1,0 +1,159 @@
+package tcq
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fragment"
+	"repro/internal/gen"
+)
+
+func roadDataset(t *testing.T) *Dataset {
+	t.Helper()
+	g, sets, err := gen.RoadNetwork(gen.RoadConfig{
+		Clusters: 3, ClusterWidth: 4, ClusterHeight: 4, Gateways: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := fragment.New(g, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(fr, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// costOf answers one cost query through the snapshot convenience.
+func costOf(t *testing.T, snap *Snapshot, src, tgt int) float64 {
+	t.Helper()
+	c, err := snap.Cost(context.Background(), src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSaveLoadSnapshotFacade(t *testing.T) {
+	ds := roadDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.tcs")
+	n, err := SaveSnapshot(path, ds.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("SaveSnapshot reported %d bytes", n)
+	}
+	cold, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Epoch() != ds.Epoch() {
+		t.Fatalf("epoch drifted: %d vs %d", cold.Epoch(), ds.Epoch())
+	}
+	if got, want := costOf(t, cold.Snapshot(), 0, 47), costOf(t, ds.Snapshot(), 0, 47); got != want {
+		t.Fatalf("cost drifted: %g vs %g", got, want)
+	}
+	if cold.Persistent() {
+		t.Fatal("LoadSnapshot dataset must not be durable")
+	}
+	if cold.PersistStats().LoadSeconds <= 0 {
+		t.Fatal("LoadSeconds not recorded")
+	}
+	// Close on a non-durable dataset is a safe no-op.
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableApplyAndRecovery(t *testing.T) {
+	ds := roadDataset(t)
+	dir := filepath.Join(t.TempDir(), "store")
+	if HasStore(dir) {
+		t.Fatal("HasStore on missing dir")
+	}
+	if err := InitStore(dir, ds.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !HasStore(dir) {
+		t.Fatal("HasStore false after InitStore")
+	}
+
+	dur, info, err := OpenStore(dir, PersistOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != ds.Epoch() || info.ReplayedRecords != 0 {
+		t.Fatalf("fresh open: %+v", info)
+	}
+	if !dur.Persistent() {
+		t.Fatal("OpenStore dataset must be durable")
+	}
+	var b Batch
+	b.Insert(0, 0, 9, 0.25)
+	b.Insert(0, 9, 0, 0.25)
+	res, err := dur.Apply(context.Background(), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := dur.PersistStats()
+	if ps.JournalRecords != 1 {
+		t.Fatalf("journal records = %d, want 1", ps.JournalRecords)
+	}
+	want := costOf(t, dur.Snapshot(), 0, 9)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays the journaled batch to the acknowledged epoch.
+	rec, info2, err := OpenStore(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if info2.ReplayedRecords != 1 || info2.Epoch != res.Epoch || rec.Epoch() != res.Epoch {
+		t.Fatalf("recovery: %+v, want 1 replay to epoch %d", info2, res.Epoch)
+	}
+	if got := costOf(t, rec.Snapshot(), 0, 9); got != want {
+		t.Fatalf("recovered cost %g, want %g", got, want)
+	}
+}
+
+func TestExplicitCheckpointFacade(t *testing.T) {
+	ds := roadDataset(t)
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := InitStore(dir, ds.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	dur, _, err := OpenStore(dir, PersistOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	b.Insert(0, 0, 5, 0.5)
+	b.Insert(0, 5, 0, 0.5)
+	if _, err := dur.Apply(context.Background(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := dur.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if dur.PersistStats().Checkpoints != 1 {
+		t.Fatal("checkpoint not counted")
+	}
+	epoch := dur.Epoch()
+	dur.Close()
+
+	rec, info, err := OpenStore(dir, PersistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if info.ReplayedRecords != 0 || rec.Epoch() != epoch {
+		t.Fatalf("after checkpoint: %+v at %d, want replay-free at %d", info, rec.Epoch(), epoch)
+	}
+}
